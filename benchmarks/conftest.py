@@ -1,0 +1,40 @@
+"""Shared helpers for the evaluation benches.
+
+Every bench regenerates one table or figure from the paper and prints
+the same rows/series the paper reports, alongside pytest-benchmark
+timing.  Set ``AMPEREBLEED_FULL=1`` to run at full paper scale
+(10 k samples per level, 100-tree forests, 10-fold CV); the default
+scale keeps the whole suite in the minutes range while preserving the
+reported shapes.
+"""
+
+import os
+from typing import Iterable, Sequence
+
+import pytest
+
+
+def full_scale() -> bool:
+    """True when the paper-scale configuration is requested."""
+    return os.environ.get("AMPEREBLEED_FULL", "") == "1"
+
+
+def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]):
+    """Render one paper table to stdout."""
+    print(f"\n=== {title} ===")
+    widths = [len(str(h)) for h in header]
+    materialized = [[str(cell) for cell in row] for row in rows]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header))
+    print(line)
+    print("-" * len(line))
+    for row in materialized:
+        print("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+
+
+@pytest.fixture
+def table_printer():
+    """Inject the table renderer into benches."""
+    return print_table

@@ -1,0 +1,66 @@
+"""Bench: regenerate Table II — unprivileged sensitive sensors on ZCU102.
+
+Paper claim: four of the ZCU102's 18 INA226 devices monitor the
+security-relevant domains (FPD/LPD CPU, FPGA logic, DDR) and all of
+them are readable through hwmon without privileges, while the refresh
+rate stays root-controlled.
+"""
+
+import numpy as np
+import pytest
+from conftest import print_table
+
+from repro.boards import sensitive_sensors
+from repro.sensors.hwmon import HwmonPermissionError
+from repro.soc import Soc
+
+
+def enumerate_sensitive(soc):
+    rows = []
+    for domain, designator in soc.sensitive_channels():
+        device = soc.device(domain)
+        rows.append(
+            (
+                f"ina226_{designator}",
+                domain,
+                device.rail.name,
+                soc.sysfs_path(domain, "current"),
+            )
+        )
+    return rows
+
+
+def test_table2_sensors(benchmark):
+    soc = Soc("ZCU102", seed=0)
+    rows = benchmark(enumerate_sensitive, soc)
+
+    print_table(
+        "Table II: sensitive unprivileged sensors (ZCU102)",
+        ("Sensor", "Domain", "Rail", "sysfs path"),
+        rows,
+    )
+
+    assert {row[0] for row in rows} == {
+        "ina226_u76", "ina226_u77", "ina226_u79", "ina226_u93"
+    }
+    assert {row[2] for row in rows} == {
+        "VCCPSINTFP", "VCCPSINTLP", "VCCINT", "VCCPSDDR"
+    }
+    # Descriptions match the paper's Table II wording.
+    descriptions = {s.designator: s.description for s in sensitive_sensors()}
+    assert "full-power domain" in descriptions["u76"]
+    assert "low-power do" in descriptions["u77"].replace("-\n", "")
+    assert "FPGA" in descriptions["u79"]
+    assert "DDR memory" in descriptions["u93"]
+
+    # Unprivileged reads succeed on every sensitive channel...
+    for domain, _ in soc.sensitive_channels():
+        for quantity in ("current", "voltage", "power"):
+            value = soc.sample(domain, quantity, np.array([1.0]))[0]
+            assert value >= 0
+    # ...but reconfiguring the sensor needs root.
+    with pytest.raises(HwmonPermissionError):
+        soc.hwmon.write(
+            f"{soc.device('fpga').path}/update_interval", "2",
+            privileged=False,
+        )

@@ -1,0 +1,94 @@
+"""Extension bench: classifying workload *types* through hwmon.
+
+Related work classifies computations on multi-tenant FPGAs with
+crafted sensors (Gobulukoglu et al., DAC'21); AmpereBleed does it
+circuit-free.  Four workload classes (burst accelerator, streaming
+pipeline, DDR-bound mover, blocked crypto engine), randomized per
+instance, recorded on the FPGA + DDR current channels and classified
+with the paper's random forest.
+"""
+
+import numpy as np
+from conftest import print_table
+
+from repro.core.features import resample_values
+from repro.core.sampler import HwmonSampler
+from repro.fpga.workloads import WORKLOAD_CLASSES, generate_dataset
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.metrics import accuracy, confusion_matrix
+from repro.ml.validation import stratified_kfold_indices
+from repro.soc import Soc
+
+INSTANCES_PER_CLASS = 24
+TRACE_SECONDS = 4.0
+N_FEATURES = 110
+
+
+def collect_and_classify():
+    soc = Soc("ZCU102", seed=0)
+    sampler = HwmonSampler(soc, seed=0)
+    victims = generate_dataset(INSTANCES_PER_CLASS, seed=0)
+
+    rows = []
+    labels = []
+    clock = 1.0
+    for victim in victims:
+        victim.attach(soc)
+        fpga = sampler.collect(
+            "fpga", "current", start=clock, duration=TRACE_SECONDS
+        )
+        ddr = sampler.collect(
+            "ddr", "current", start=clock, duration=TRACE_SECONDS
+        )
+        victim.detach(soc)
+        clock += TRACE_SECONDS + 0.5
+        features = np.concatenate(
+            [
+                resample_values(fpga.values, N_FEATURES),
+                resample_values(ddr.values, N_FEATURES),
+            ]
+        )
+        rows.append(features)
+        labels.append(victim.kind)
+
+    X = np.vstack(rows)
+    y = np.asarray(labels)
+    folds = stratified_kfold_indices(y, 4, seed=0)
+    all_true, all_pred = [], []
+    scores = []
+    for fold in folds:
+        mask = np.zeros(y.size, dtype=bool)
+        mask[fold] = True
+        forest = RandomForestClassifier(n_estimators=40, seed=1)
+        forest.fit(X[~mask], y[~mask])
+        predictions = forest.predict(X[mask])
+        scores.append(accuracy(y[mask], predictions))
+        all_true.extend(y[mask])
+        all_pred.extend(predictions)
+    matrix = confusion_matrix(
+        np.asarray(all_true), np.asarray(all_pred),
+        labels=np.asarray(WORKLOAD_CLASSES),
+    )
+    return float(np.mean(scores)), matrix
+
+
+def test_workload_classification(benchmark):
+    top1, matrix = benchmark.pedantic(
+        collect_and_classify, rounds=1, iterations=1
+    )
+
+    rows = [
+        (true_kind,) + tuple(matrix[i])
+        for i, true_kind in enumerate(WORKLOAD_CLASSES)
+    ]
+    print_table(
+        f"Workload-type classification (top-1 = {top1:.3f}, chance = 0.25)",
+        ("true \\ predicted",) + WORKLOAD_CLASSES,
+        rows,
+    )
+
+    # Circuit-free workload classification works well above chance.
+    assert top1 > 0.85
+    # Every class is recognized at least half the time.
+    per_class = matrix.diagonal() / matrix.sum(axis=1)
+    assert np.all(per_class > 0.5)

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Cloud scenario: PDN isolation vs AmpereBleed.
+
+Two tenants share an FPGA behind ISO-TENANT-style per-tenant
+regulators.  Tenant A runs a victim accelerator; tenant B hosts the
+classic attacker with a ring-oscillator bank.  Meanwhile an
+unprivileged process on the ARM cores polls the board-level INA226.
+
+Run:  python examples/multi_tenant_cloud.py
+"""
+
+import numpy as np
+
+from repro.analysis import pearson
+from repro.fpga import IsolatedTenantPdn, PowerVirusArray, RoSensorBank
+from repro.soc import Soc
+
+
+def main():
+    soc = Soc("ZCU102", seed=29)
+    pdn = IsolatedTenantPdn(n_tenants=2)
+    pdn.install(soc)
+    print("Topology: upstream VCCINT (monitored by ina226_u79)")
+    print("          -> per-tenant regulators -> TENANT0 (victim), "
+          "TENANT1 (RO attacker)\n")
+
+    victim = PowerVirusArray(seed=29)
+    ro = RoSensorBank()
+    device = soc.device("fpga")
+    period = device.update_period
+    rng = np.random.default_rng(1)
+
+    levels = np.arange(0, 161, 20)
+    current_means, ro_means = [], []
+    for position, level in enumerate(levels):
+        start = 1.0 + position * 210 * period
+        victim.set_active_groups(int(level))
+        pdn.tenant(0).replace("victim", victim.timeline())
+
+        times = start + np.arange(200) * period
+        current_means.append(soc.sample("fpga", "current", times).mean())
+        windows = start + np.arange(200) * ro.sample_window
+        tenant_v = pdn.tenant_voltage(1, windows, windows + ro.sample_window)
+        ro_means.append(ro.counts(tenant_v, rng=rng).mean())
+
+    current_means = np.asarray(current_means)
+    ro_means = np.asarray(ro_means)
+
+    print(f"{'level':>6s} {'hwmon mA':>9s} {'RO counts':>10s}")
+    for level, i, c in zip(levels, current_means, ro_means):
+        print(f"{level:6d} {i:9.0f} {c:10.3f}")
+
+    print(f"\ncorrelation with victim activity:")
+    print(f"  upstream INA226 current: r = {pearson(levels, current_means):+.4f}")
+    print(f"  tenant-B ring oscillator: r = {pearson(levels, ro_means):+.4f}")
+    print("\nPer-tenant regulation blinds the co-resident crafted sensor;")
+    print("the board-level current sensor aggregates every tenant anyway.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,103 @@
+"""Leakage assessment: TVLA-style Welch t-tests and SNR.
+
+Standard side-channel evaluation methodology, applied to hwmon traces:
+
+* **Welch's t-test** (the TVLA fixed-vs-fixed / fixed-vs-random
+  methodology): do two populations of readings — e.g. collected under
+  two different RSA keys — differ beyond noise?  |t| > 4.5 is the
+  conventional detection threshold.
+* **SNR** (Mangard's signal-to-noise ratio): variance of the class
+  means over the mean of the class variances, quantifying how much of
+  a channel's variation is victim-dependent.
+
+These feed the leakage-assessment tests/benches and give downstream
+users the standard vocabulary for comparing channels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.utils.validation import as_1d_float_array
+
+#: Conventional TVLA detection threshold.
+TVLA_THRESHOLD = 4.5
+
+
+@dataclass(frozen=True)
+class TTestResult:
+    """Welch's t-test outcome."""
+
+    statistic: float
+    degrees_of_freedom: float
+
+    @property
+    def leaks(self) -> bool:
+        """True when |t| exceeds the TVLA threshold."""
+        return abs(self.statistic) > TVLA_THRESHOLD
+
+
+def welch_t_test(a, b) -> TTestResult:
+    """Welch's unequal-variance t-test between two sample sets."""
+    a = as_1d_float_array(a, "a")
+    b = as_1d_float_array(b, "b")
+    if a.size < 2 or b.size < 2:
+        raise ValueError("need at least two samples per population")
+    var_a = a.var(ddof=1)
+    var_b = b.var(ddof=1)
+    se_a = var_a / a.size
+    se_b = var_b / b.size
+    denominator = np.sqrt(se_a + se_b)
+    if denominator == 0:
+        # Identical constants: no evidence either way unless the means
+        # differ, in which case leakage is total.
+        statistic = 0.0 if a.mean() == b.mean() else np.inf
+        return TTestResult(statistic=float(statistic),
+                           degrees_of_freedom=float(a.size + b.size - 2))
+    statistic = (a.mean() - b.mean()) / denominator
+    dof_numerator = (se_a + se_b) ** 2
+    dof_denominator = (
+        se_a**2 / (a.size - 1) + se_b**2 / (b.size - 1)
+    )
+    dof = dof_numerator / dof_denominator if dof_denominator > 0 else 1.0
+    return TTestResult(
+        statistic=float(statistic), degrees_of_freedom=float(dof)
+    )
+
+
+def snr(groups: Sequence[np.ndarray]) -> float:
+    """Mangard's SNR: Var(class means) / E(class variances).
+
+    ``groups`` holds the readings collected under each victim class
+    (e.g. one array per RSA key).  SNR >> 1 means class identity
+    dominates the channel; SNR << 1 means noise does.
+    """
+    if len(groups) < 2:
+        raise ValueError("need at least two classes")
+    arrays = [as_1d_float_array(group, "group") for group in groups]
+    if any(array.size < 2 for array in arrays):
+        raise ValueError("need at least two samples per class")
+    means = np.array([array.mean() for array in arrays])
+    variances = np.array([array.var(ddof=1) for array in arrays])
+    noise = variances.mean()
+    if noise == 0:
+        return np.inf if means.var() > 0 else 0.0
+    return float(means.var() / noise)
+
+
+def pairwise_tvla(groups: Sequence[np.ndarray]) -> np.ndarray:
+    """|t| statistics for every adjacent pair of classes.
+
+    For an ordered sweep (e.g. increasing Hamming weights) the adjacent
+    pairs are the hardest to distinguish; this is the per-step leakage
+    profile.
+    """
+    if len(groups) < 2:
+        raise ValueError("need at least two classes")
+    statistics = []
+    for left, right in zip(groups, groups[1:]):
+        statistics.append(abs(welch_t_test(left, right).statistic))
+    return np.asarray(statistics)

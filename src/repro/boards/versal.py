@@ -1,0 +1,153 @@
+"""VCK190 (Versal) power-rail and INA226 sensor map.
+
+The VCK190 evaluation board (UG1366) instruments 17 rails with INA226
+monitors — matching its Table I entry.  The Versal ACAP splits its
+processing system differently from Zynq UltraScale+ (full-power and
+low-power PS domains plus the platform-management controller), but the
+four *sensitive* domains of Table II have direct equivalents:
+
+========== ===============================================
+VCC_PSFP   full-power domain of the Cortex-A72 cores
+VCC_PSLP   low-power domain (Cortex-R5 + peripherals)
+VCCINT     programmable logic and AI engines
+VCC1V1_LP4 LPDDR4 memory
+========== ===============================================
+
+so the AmpereBleed pipeline runs unmodified: only the names and shunt
+values change.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.boards.zcu102 import SensorSpec
+
+#: Versal core rails regulate 0.775-0.825 V (Table I).
+VCK190_SENSORS: List[SensorSpec] = [
+    SensorSpec(
+        designator="u76",  # keep the hwmon-recognized designators so
+        rail="VCC_PSFP",   # Table II domain discovery works unchanged
+        domain="fpd",
+        description="current, voltage, and power for the full-power "
+                    "domain of the ARM processor cores.",
+        shunt_ohms=0.005,
+        nominal_voltage=0.80,
+        max_current=8.0,
+        sensitive=True,
+        idle_current=0.30,
+    ),
+    SensorSpec(
+        designator="u77",
+        rail="VCC_PSLP",
+        domain="lpd",
+        description="current, voltage, and power for the low-power "
+                    "domain of the ARM processor cores.",
+        shunt_ohms=0.005,
+        nominal_voltage=0.80,
+        max_current=4.0,
+        sensitive=True,
+        idle_current=0.15,
+    ),
+    SensorSpec(
+        designator="u79",
+        rail="VCCINT",
+        domain="fpga",
+        description="current, voltage, and power for FPGA's logic and "
+                    "processing elements.",
+        shunt_ohms=0.002,
+        nominal_voltage=0.80,
+        max_current=30.0,
+        sensitive=True,
+        idle_current=0.80,
+    ),
+    SensorSpec(
+        designator="u93",
+        rail="VCC1V1_LP4",
+        domain="ddr",
+        description="current, voltage, and power for LPDDR4 memory.",
+        shunt_ohms=0.005,
+        nominal_voltage=1.1,
+        max_current=6.0,
+        sensitive=True,
+        idle_current=0.22,
+    ),
+    SensorSpec(
+        designator="u78", rail="VCC_SOC", domain="aux",
+        description="NoC and DDR-controller supply.",
+        shunt_ohms=0.005, nominal_voltage=0.80, max_current=6.0,
+        idle_current=0.25,
+    ),
+    SensorSpec(
+        designator="u80", rail="VCC_PMC", domain="aux",
+        description="platform management controller supply.",
+        shunt_ohms=0.005, nominal_voltage=0.80, max_current=2.0,
+        idle_current=0.10,
+    ),
+    SensorSpec(
+        designator="u81", rail="VCC_RAM", domain="aux",
+        description="block-RAM / URAM array supply.",
+        shunt_ohms=0.005, nominal_voltage=0.80, max_current=4.0,
+        idle_current=0.08,
+    ),
+    SensorSpec(
+        designator="u82", rail="VCCAUX", domain="aux",
+        description="auxiliary supply.",
+        shunt_ohms=0.005, nominal_voltage=1.5, max_current=3.0,
+        idle_current=0.12,
+    ),
+    SensorSpec(
+        designator="u83", rail="VCCAUX_PMC", domain="aux",
+        description="PMC auxiliary supply.",
+        shunt_ohms=0.005, nominal_voltage=1.5, max_current=1.0,
+        idle_current=0.03,
+    ),
+    SensorSpec(
+        designator="u84", rail="VCCO_MIO", domain="aux",
+        description="multiplexed IO bank supply.",
+        shunt_ohms=0.005, nominal_voltage=1.8, max_current=2.0,
+        idle_current=0.05,
+    ),
+    SensorSpec(
+        designator="u85", rail="VCC1V8", domain="aux",
+        description="1.8 V utility supply.",
+        shunt_ohms=0.005, nominal_voltage=1.8, max_current=3.0,
+        idle_current=0.10,
+    ),
+    SensorSpec(
+        designator="u86", rail="VCC3V3", domain="aux",
+        description="3.3 V utility supply.",
+        shunt_ohms=0.005, nominal_voltage=3.3, max_current=3.0,
+        idle_current=0.15,
+    ),
+    SensorSpec(
+        designator="u87", rail="VCC1V2_DDR4", domain="aux",
+        description="DDR4 DIMM supply.",
+        shunt_ohms=0.005, nominal_voltage=1.2, max_current=4.0,
+        idle_current=0.15,
+    ),
+    SensorSpec(
+        designator="u88", rail="VADJ_FMC", domain="aux",
+        description="FMC adjustable IO supply.",
+        shunt_ohms=0.005, nominal_voltage=1.5, max_current=3.0,
+        idle_current=0.02,
+    ),
+    SensorSpec(
+        designator="u89", rail="MGTYAVCC", domain="aux",
+        description="GTY transceiver analog supply.",
+        shunt_ohms=0.005, nominal_voltage=0.88, max_current=4.0,
+        idle_current=0.12,
+    ),
+    SensorSpec(
+        designator="u90", rail="MGTYAVTT", domain="aux",
+        description="GTY transceiver termination supply.",
+        shunt_ohms=0.005, nominal_voltage=1.2, max_current=4.0,
+        idle_current=0.10,
+    ),
+    SensorSpec(
+        designator="u91", rail="MGTYVCCAUX", domain="aux",
+        description="GTY transceiver auxiliary supply.",
+        shunt_ohms=0.005, nominal_voltage=1.5, max_current=1.0,
+        idle_current=0.03,
+    ),
+]

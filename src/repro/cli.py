@@ -1,0 +1,189 @@
+"""Command-line interface for the AmpereBleed reproduction.
+
+Usage::
+
+    python -m repro.cli boards
+    python -m repro.cli characterize --samples 1000 --seed 0
+    python -m repro.cli fingerprint --models resnet-50 vgg-19 --traces 8
+    python -m repro.cli rsa --samples 8000
+    python -m repro.cli covert --bit-period 0.08 --bits 64
+
+Each subcommand mounts one of the paper's experiments at a
+command-line-friendly scale and prints a compact report; the full
+evaluation lives in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _cmd_boards(args: argparse.Namespace) -> int:
+    from repro.boards import list_boards
+
+    print(f"{'board':9s} {'family':18s} {'cpu':11s} {'ina226':>6s} "
+          f"{'price':>8s}")
+    for board in list_boards():
+        print(
+            f"{board.name:9s} {board.fpga_family:18s} "
+            f"{board.cpu_model:11s} {board.ina226_count:6d} "
+            f"{board.price_usd:8,.0f}"
+        )
+    return 0
+
+
+def _cmd_characterize(args: argparse.Namespace) -> int:
+    from repro.core.characterize import characterize
+
+    result = characterize(samples_per_level=args.samples, seed=args.seed)
+    print(f"{'channel':8s} {'pearson':>8s} {'LSB/step':>9s}")
+    for sweep in (result.current, result.voltage, result.power, result.ro):
+        print(f"{sweep.name:8s} {sweep.pearson:8.4f} {sweep.lsb_step:9.2f}")
+    print(f"current-vs-RO variation ratio: "
+          f"{result.current_vs_ro_variation:.1f}x (paper: 261x)")
+    return 0
+
+
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    from repro.core.fingerprint import DnnFingerprinter, FingerprintConfig
+    from repro.dpu.models import list_models
+
+    models = args.models if args.models else list_models()
+    config = FingerprintConfig(
+        duration=args.duration,
+        traces_per_model=args.traces,
+        n_folds=args.folds,
+        forest_trees=args.trees,
+    )
+    fingerprinter = DnnFingerprinter(config=config, seed=args.seed)
+    channels = [tuple(channel.split("/")) for channel in args.channels]
+    print(f"collecting {len(models)} models x {args.traces} traces...")
+    datasets = fingerprinter.collect_datasets(
+        models=models, channels=channels
+    )
+    for channel, dataset in datasets.items():
+        result = fingerprinter.evaluate_channel(dataset)
+        print(f"{channel[0]}/{channel[1]}: top-1 {result.top1:.3f}  "
+              f"top-5 {result.top5:.3f}")
+    return 0
+
+
+def _cmd_rsa(args: argparse.Namespace) -> int:
+    from repro.core.rsa_attack import RsaHammingWeightAttack
+
+    attack = RsaHammingWeightAttack(seed=args.seed)
+    current = attack.sweep(n_samples=args.samples)
+    power = attack.sweep(quantity="power", n_samples=args.samples)
+    print(f"{'HW':>5s} {'I median (mA)':>14s} {'P median (mW)':>14s}")
+    for c, p in zip(current.profiles, power.profiles):
+        print(f"{c.weight:5d} {c.summary.median:14.0f} "
+              f"{p.summary.median / 1000:14.0f}")
+    print(f"groups: current {current.distinguishable_groups()}/17, "
+          f"power {power.distinguishable_groups()}/17 (paper: 17 / ~5)")
+    return 0
+
+
+def _cmd_covert(args: argparse.Namespace) -> int:
+    from repro.core.covert_channel import CovertChannel
+
+    channel = CovertChannel(seed=args.seed)
+    rng = np.random.default_rng(args.seed)
+    bits = rng.integers(0, 2, size=args.bits)
+    report = channel.transmit(bits, bit_period=args.bit_period)
+    print(f"sent {len(report.sent)} bits at "
+          f"{report.raw_throughput_bps:.1f} bps")
+    print(f"bit errors: {report.bit_errors} "
+          f"(BER {report.bit_error_rate:.3f})")
+    print(f"goodput: {report.effective_throughput_bps:.1f} bps")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.reporting import generate_report
+
+    markdown = generate_report(
+        seed=args.seed,
+        samples_per_level=args.samples,
+        rsa_samples=args.rsa_samples,
+        path=args.output,
+    )
+    if args.output:
+        print(f"report written to {args.output}")
+    else:
+        print(markdown)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AmpereBleed (DAC 2025) reproduction experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("boards", help="list the Table I board catalog")
+
+    characterize = sub.add_parser(
+        "characterize", help="run the Fig 2 sensitivity sweep"
+    )
+    characterize.add_argument("--samples", type=int, default=1000)
+    characterize.add_argument("--seed", type=int, default=0)
+
+    fingerprint = sub.add_parser(
+        "fingerprint", help="fingerprint DPU models (Table III)"
+    )
+    fingerprint.add_argument("--models", nargs="*", default=None)
+    fingerprint.add_argument("--traces", type=int, default=8)
+    fingerprint.add_argument("--duration", type=float, default=5.0)
+    fingerprint.add_argument("--folds", type=int, default=4)
+    fingerprint.add_argument("--trees", type=int, default=20)
+    fingerprint.add_argument(
+        "--channels", nargs="*", default=["fpga/current"]
+    )
+    fingerprint.add_argument("--seed", type=int, default=0)
+
+    rsa = sub.add_parser("rsa", help="RSA Hamming-weight attack (Fig 4)")
+    rsa.add_argument("--samples", type=int, default=8000)
+    rsa.add_argument("--seed", type=int, default=0)
+
+    covert = sub.add_parser(
+        "covert", help="current-based covert channel demo"
+    )
+    covert.add_argument("--bits", type=int, default=64)
+    covert.add_argument("--bit-period", type=float, default=0.08)
+    covert.add_argument("--seed", type=int, default=0)
+
+    report = sub.add_parser(
+        "report", help="compact evaluation report (markdown)"
+    )
+    report.add_argument("--samples", type=int, default=500)
+    report.add_argument("--rsa-samples", type=int, default=6000)
+    report.add_argument("--output", type=str, default=None)
+    report.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+_COMMANDS = {
+    "boards": _cmd_boards,
+    "characterize": _cmd_characterize,
+    "fingerprint": _cmd_fingerprint,
+    "rsa": _cmd_rsa,
+    "covert": _cmd_covert,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

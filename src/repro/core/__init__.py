@@ -1,0 +1,83 @@
+"""The AmpereBleed attack library: sampling, characterization, attacks."""
+
+from repro.core.characterize import (
+    CHANNEL_LSBS,
+    ChannelSweep,
+    CharacterizationResult,
+    characterize,
+)
+from repro.core.countermeasures import (
+    ROOT_ONLY,
+    SensorHardening,
+    coarsened,
+    dithered,
+    rate_limited,
+)
+from repro.core.covert_channel import (
+    ChannelReport,
+    CovertChannel,
+    PowerCovertReceiver,
+    PowerCovertSender,
+)
+from repro.core.calibration import (
+    SensorClockEstimate,
+    calibrate_channel,
+    estimate_sensor_clock,
+)
+from repro.core.campaign import AttackCampaign, ReconReport
+from repro.core.detector import Episode, OnsetDetector
+from repro.core.io import load_traceset, save_traceset
+from repro.core.features import resample_values, standardize, summary_features
+from repro.core.fingerprint import (
+    FAST_CONFIG,
+    TABLE3_CHANNELS,
+    TABLE3_DURATIONS,
+    DnnFingerprinter,
+    FingerprintConfig,
+)
+from repro.core.rsa_attack import (
+    KeyProfile,
+    RsaHammingWeightAttack,
+    WeightSweepResult,
+)
+from repro.core.sampler import HwmonSampler
+from repro.core.traces import Trace, TraceSet
+
+__all__ = [
+    "CHANNEL_LSBS",
+    "ROOT_ONLY",
+    "SensorHardening",
+    "coarsened",
+    "dithered",
+    "rate_limited",
+    "ChannelReport",
+    "CovertChannel",
+    "PowerCovertReceiver",
+    "PowerCovertSender",
+    "SensorClockEstimate",
+    "calibrate_channel",
+    "estimate_sensor_clock",
+    "AttackCampaign",
+    "ReconReport",
+    "Episode",
+    "OnsetDetector",
+    "load_traceset",
+    "save_traceset",
+    "ChannelSweep",
+    "CharacterizationResult",
+    "characterize",
+    "resample_values",
+    "standardize",
+    "summary_features",
+    "FAST_CONFIG",
+    "TABLE3_CHANNELS",
+    "TABLE3_DURATIONS",
+    "DnnFingerprinter",
+    "FingerprintConfig",
+    "KeyProfile",
+    "RsaHammingWeightAttack",
+    "WeightSweepResult",
+    "HwmonSampler",
+    "Trace",
+    "TraceSet",
+]

@@ -1,0 +1,124 @@
+"""Attacker-side sensor calibration: learn the sensor's clock.
+
+The attacker cannot read the INA226's configuration (and could not
+change it anyway without root), but sampling *efficiently* requires
+knowing the update interval — polling faster wastes syscalls on cached
+values, polling slower wastes fresh conversions.  Both the interval
+and the conversion phase are recoverable from the readings themselves:
+poll fast, record *when the value changes*, and the change times sit
+on the sensor's latch grid.
+
+This is a practical recon step (the campaign can run it right after
+sensor discovery) and doubles as a verification tool: the estimate
+must land on the 35 ms the ZCU102's hwmon reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.sampler import HwmonSampler
+from repro.utils.validation import require_int_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class SensorClockEstimate:
+    """Recovered sensor timing parameters.
+
+    Attributes:
+        update_interval: estimated seconds between register refreshes.
+        phase: estimated offset of the refresh grid within one
+            interval (relative to the sampling session's clock).
+        n_transitions: value changes observed (estimate quality).
+        jitter: RMS deviation of observed change times from the fitted
+            grid, in seconds (sanity measure: should be below the poll
+            spacing).
+    """
+
+    update_interval: float
+    phase: float
+    n_transitions: int
+    jitter: float
+
+    @property
+    def update_interval_ms(self) -> float:
+        """The interval in milliseconds (hwmon's reporting unit)."""
+        return self.update_interval * 1e3
+
+
+def estimate_sensor_clock(
+    times: np.ndarray, values: np.ndarray
+) -> SensorClockEstimate:
+    """Recover the latch grid from an oversampled trace.
+
+    ``times``/``values`` must come from polling *faster* than the
+    sensor updates (several polls per interval), so most changes in
+    the value stream mark latch boundaries.  Occasional unchanged
+    conversions (identical consecutive readings) merely skip a grid
+    point; the estimator uses the median of *grid-normalized* change
+    spacings, which is robust to such gaps.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    values = np.asarray(values)
+    if times.shape != values.shape or times.ndim != 1:
+        raise ValueError("times and values must be equal-length 1-D arrays")
+    if times.size < 16:
+        raise ValueError("need at least 16 samples to calibrate")
+    changed = np.nonzero(values[1:] != values[:-1])[0] + 1
+    if changed.size < 3:
+        raise ValueError(
+            "too few value transitions; poll longer or faster"
+        )
+    change_times = times[changed]
+    spacings = np.diff(change_times)
+    spacings = spacings[spacings > 0]
+    if spacings.size < 2:
+        raise ValueError("degenerate transition spacing")
+    # Every spacing is k * T for integer k >= 1 (unchanged conversions
+    # skip grid points), so the smallest spacing anchors the grid;
+    # one refinement pass then averages over all spacings.
+    base = float(spacings.min())
+    for _ in range(2):
+        multiples = np.maximum(1, np.rint(spacings / base))
+        base = float(np.mean(spacings / multiples))
+    interval = base
+    # Phase: change times modulo the interval cluster at the latch
+    # offset; use the circular mean for wrap robustness.
+    angles = 2 * np.pi * ((change_times % interval) / interval)
+    mean_angle = np.arctan2(np.sin(angles).mean(), np.cos(angles).mean())
+    phase = (mean_angle / (2 * np.pi)) % 1.0 * interval
+    residuals = ((change_times - phase) % interval)
+    residuals = np.minimum(residuals, interval - residuals)
+    return SensorClockEstimate(
+        update_interval=interval,
+        phase=float(phase),
+        n_transitions=int(changed.size),
+        jitter=float(np.sqrt(np.mean(residuals**2))),
+    )
+
+
+def calibrate_channel(
+    sampler: HwmonSampler,
+    domain: str = "fpga",
+    quantity: str = "current",
+    start: float = 0.0,
+    n_samples: int = 3000,
+    poll_hz: Optional[float] = None,
+) -> SensorClockEstimate:
+    """Run the calibration against a live channel.
+
+    Polls at ~8x the worst-case update rate by default (the paper's
+    boards update no faster than 2 ms, so 4 kHz covers everything an
+    unprivileged attacker will meet).
+    """
+    require_int_in_range(n_samples, 64, 100_000_000, "n_samples")
+    if poll_hz is None:
+        poll_hz = 4000.0
+    require_positive(poll_hz, "poll_hz")
+    trace = sampler.collect(
+        domain, quantity, start=start, n_samples=n_samples, poll_hz=poll_hz
+    )
+    return estimate_sensor_clock(trace.times, trace.values)

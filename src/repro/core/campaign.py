@@ -1,0 +1,159 @@
+"""End-to-end attack campaign: what the malicious process actually does.
+
+The paper's threat model is a single unprivileged process dropped onto
+the device (OTA update, malware).  Its kill chain through this library:
+
+1. **Recon** — walk ``/sys/class/hwmon``, read each device's ``name``
+   file, and match the INA226 instances against the known sensitive
+   designators (Table II knowledge ships with the malware).
+2. **Stakeout** — poll the FPGA current file until victim activity
+   starts (onset detection), so traces are not wasted on idle.
+3. **Attack** — hand the located channels to the fingerprinting or
+   RSA pipelines.
+
+:class:`AttackCampaign` packages those stages so an end-to-end run is
+three calls; the examples and the campaign tests exercise it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.boards.zcu102 import SENSITIVE_SENSOR_MAP
+from repro.core.detector import OnsetDetector
+from repro.core.sampler import HwmonSampler
+from repro.core.traces import Trace
+from repro.soc.soc import Soc
+from repro.utils.validation import require_positive
+
+
+@dataclass(frozen=True)
+class ReconReport:
+    """What sensor enumeration found."""
+
+    #: Every hwmon device: path -> name-file contents.
+    devices: Dict[str, str]
+    #: domain key -> curr1_input path, for recognized sensitive sensors.
+    sensitive_paths: Dict[str, str]
+
+    @property
+    def found_fpga_sensor(self) -> bool:
+        """Did recon locate the FPGA current channel?"""
+        return "fpga" in self.sensitive_paths
+
+
+class AttackCampaign:
+    """Drives the recon -> stakeout -> attack chain on one SoC."""
+
+    def __init__(
+        self,
+        soc: Soc,
+        sampler: Optional[HwmonSampler] = None,
+        detector: Optional[OnsetDetector] = None,
+        seed: Optional[int] = 0,
+    ):
+        self.soc = soc
+        self.sampler = (
+            sampler if sampler is not None else HwmonSampler(soc, seed=seed)
+        )
+        self.detector = detector if detector is not None else OnsetDetector()
+
+    # ------------------------------------------------------------ recon
+
+    def recon(self) -> ReconReport:
+        """Enumerate hwmon and locate the sensitive INA226 instances.
+
+        Uses only unprivileged reads of ``name`` files — exactly what
+        ``grep . /sys/class/hwmon/hwmon*/name`` does on the real board.
+        """
+        devices: Dict[str, str] = {}
+        sensitive: Dict[str, str] = {}
+        known = {
+            f"ina226_{designator}": domain
+            for domain, designator in SENSITIVE_SENSOR_MAP.items()
+        }
+        for device in self.soc.hwmon.devices():
+            name = device.read("name")
+            devices[device.path] = name
+            domain = known.get(name)
+            if domain is not None:
+                sensitive[domain] = f"{device.path}/curr1_input"
+        return ReconReport(devices=devices, sensitive_paths=sensitive)
+
+    # --------------------------------------------------------- stakeout
+
+    def wait_for_victim(
+        self,
+        domain: str = "fpga",
+        start: float = 0.0,
+        timeout: float = 30.0,
+        chunk: float = 2.0,
+    ) -> Tuple[bool, float]:
+        """Poll until activity appears on a channel (or timeout).
+
+        Returns ``(found, onset_time)``; polls in ``chunk``-second
+        recordings like a real stakeout loop would, to bound memory.
+        """
+        require_positive(timeout, "timeout")
+        require_positive(chunk, "chunk")
+        elapsed = 0.0
+        baseline = None
+        while elapsed < timeout:
+            trace = self.sampler.collect(
+                domain, "current", start=start + elapsed, duration=chunk
+            )
+            if baseline is None:
+                # The first chunk calibrates the idle baseline; later
+                # chunks are judged against it, so a victim that is
+                # already running when a chunk starts is still caught.
+                baseline = self.detector.estimate_baseline(
+                    np.asarray(trace.values, dtype=np.float64)
+                )
+            found, onset = self.detector.detect_onset(
+                trace, baseline=baseline
+            )
+            if found:
+                return True, onset
+            elapsed += chunk
+        return False, float("nan")
+
+    # ----------------------------------------------------------- attack
+
+    def record_victim(
+        self,
+        domain: str = "fpga",
+        start: float = 0.0,
+        duration: float = 5.0,
+        label: Optional[str] = None,
+    ) -> Trace:
+        """Record an attack trace once the victim is known to run."""
+        return self.sampler.collect(
+            domain, "current", start=start, duration=duration, label=label
+        )
+
+    def run(
+        self,
+        victim_start: float,
+        trace_duration: float = 5.0,
+        stakeout_from: float = 0.0,
+        timeout: float = 60.0,
+    ) -> Optional[Trace]:
+        """The full chain against an already-deployed victim.
+
+        Returns the attack trace, or ``None`` when recon or stakeout
+        fails (no sensors / victim never ran).
+        """
+        report = self.recon()
+        if not report.found_fpga_sensor:
+            return None
+        found, onset = self.wait_for_victim(
+            start=stakeout_from, timeout=timeout
+        )
+        if not found:
+            return None
+        return self.record_victim(
+            start=max(onset, victim_start), duration=trace_duration
+        )

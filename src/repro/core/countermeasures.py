@@ -1,0 +1,120 @@
+"""Sensor-hardening countermeasures against AmpereBleed.
+
+The paper's discussion proposes restricting INA226 access to
+privileged users, and notes the cost: benign monitoring breaks and
+legacy devices stay exposed.  This module implements that mitigation
+plus the two softer alternatives a vendor would consider, so the
+defense bench can quantify each one's security/utility trade-off:
+
+* **root-only access** — unprivileged reads of the sensitive files
+  fail outright (the paper's proposal);
+* **resolution coarsening** — readings are quantized to a coarser LSB
+  before export, the same mechanism that already (accidentally)
+  protects the 25 mW power channel;
+* **noise injection** — the driver adds random jitter to each exported
+  reading, trading monitoring fidelity for side-channel margin;
+* **rate limiting** — readings refresh on a slower grid than the
+  hardware supports, shrinking how many independent observations an
+  attacker can harvest per second.
+
+A :class:`SensorHardening` policy is attached to a
+:class:`repro.soc.Soc` at construction; every hwmon read flows through
+it, so the attack pipelines run unmodified against hardened platforms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.sensors.hwmon import HwmonPermissionError
+from repro.utils.hashrand import hashed_normal
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class SensorHardening:
+    """A hardening policy applied to every exported sensor reading.
+
+    Attributes:
+        restrict_to_root: deny unprivileged reads entirely (the paper's
+            mitigation).
+        quantize_lsb: if set, round exported readings to this many
+            output units (e.g. 32 -> 32 mA current steps).
+        noise_sigma: if set, add zero-mean Gaussian dither of this many
+            output units to each *refresh* (not each poll — repeated
+            polls of one cached value stay consistent).
+        min_interval: if set, serve readings on this refresh grid (in
+            seconds) even when the hardware updates faster.
+        seed: keys the dither stream.
+    """
+
+    restrict_to_root: bool = False
+    quantize_lsb: Optional[float] = None
+    noise_sigma: Optional[float] = None
+    min_interval: Optional[float] = None
+    seed: Optional[int] = 0
+
+    def __post_init__(self):
+        if self.quantize_lsb is not None and self.quantize_lsb <= 0:
+            raise ValueError("quantize_lsb must be > 0")
+        if self.noise_sigma is not None and self.noise_sigma < 0:
+            raise ValueError("noise_sigma must be >= 0")
+        if self.min_interval is not None and self.min_interval <= 0:
+            raise ValueError("min_interval must be > 0")
+
+    def check_access(self, privileged: bool) -> None:
+        """Enforce the access policy (raises for denied reads)."""
+        if self.restrict_to_root and not privileged:
+            raise HwmonPermissionError(
+                "sensor access restricted to root by hardening policy"
+            )
+
+    def effective_times(self, times: np.ndarray) -> np.ndarray:
+        """Fold poll times onto the rate-limited refresh grid."""
+        if self.min_interval is None:
+            return times
+        times = np.asarray(times, dtype=np.float64)
+        return np.floor(times / self.min_interval) * self.min_interval
+
+    def transform(
+        self, values: np.ndarray, times: np.ndarray, channel: str
+    ) -> np.ndarray:
+        """Apply dither and quantization to exported readings.
+
+        Dither is a pure function of the (rate-limited) refresh slot,
+        so an attacker cannot average it away by polling faster —
+        matching how a driver-level mitigation would behave.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if self.noise_sigma:
+            key = derive_seed(self.seed, f"hardening-{channel}")
+            grid = self.min_interval if self.min_interval else 1e-3
+            slots = np.floor(
+                np.asarray(times, dtype=np.float64) / grid
+            ).astype(np.int64).astype(np.uint64)
+            values = values + self.noise_sigma * hashed_normal(key, slots)
+        if self.quantize_lsb:
+            values = np.round(values / self.quantize_lsb) * self.quantize_lsb
+        return np.rint(values).astype(np.int64)
+
+
+#: The paper's proposed mitigation, ready to attach to a Soc.
+ROOT_ONLY = SensorHardening(restrict_to_root=True)
+
+
+def coarsened(lsb: float) -> SensorHardening:
+    """Resolution-coarsening policy (e.g. ``coarsened(32)`` = 32 mA)."""
+    return SensorHardening(quantize_lsb=lsb)
+
+
+def dithered(sigma: float, seed: int = 0) -> SensorHardening:
+    """Noise-injection policy with RMS ``sigma`` output units."""
+    return SensorHardening(noise_sigma=sigma, seed=seed)
+
+
+def rate_limited(interval_seconds: float) -> SensorHardening:
+    """Refresh-throttling policy."""
+    return SensorHardening(min_interval=interval_seconds)

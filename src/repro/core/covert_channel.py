@@ -1,0 +1,190 @@
+"""Current-based covert channel across the FPGA/CPU boundary.
+
+A natural corollary of AmpereBleed (and of the C3APSULe line of work
+the paper cites): if an unprivileged ARM process can *observe* FPGA
+power through the INA226s, then a colluding FPGA circuit can *signal*
+to it by modulating its own power — a covert channel that crosses the
+hardware isolation boundary with no shared memory, no network and no
+crafted receiver circuit.
+
+The implementation is deliberately simple and robust: on-off keying
+(OOK).  The sender toggles a power load per bit; the receiver polls
+``curr1_input``, averages each bit window, and thresholds against a
+calibration derived from an alternating preamble.  The channel's
+capacity is gated by the sensor's update interval — one more reason
+the root-only ``update_interval`` knob matters — which the covert
+bench sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.sampler import HwmonSampler
+from repro.soc.soc import Soc
+from repro.soc.workload import PiecewiseActivity
+from repro.utils.validation import require_positive
+
+#: Alternating preamble used for threshold calibration.
+PREAMBLE: Tuple[int, ...] = (1, 0, 1, 0, 1, 0, 1, 0)
+
+
+@dataclass(frozen=True)
+class ChannelReport:
+    """Outcome of one covert transmission."""
+
+    sent: Tuple[int, ...]
+    received: Tuple[int, ...]
+    bit_period: float
+
+    @property
+    def bit_errors(self) -> int:
+        """Payload bits decoded incorrectly."""
+        return sum(a != b for a, b in zip(self.sent, self.received))
+
+    @property
+    def bit_error_rate(self) -> float:
+        """Fraction of payload bits in error."""
+        if not self.sent:
+            return 0.0
+        return self.bit_errors / len(self.sent)
+
+    @property
+    def raw_throughput_bps(self) -> float:
+        """Signaling rate in bits per second (before coding overhead)."""
+        return 1.0 / self.bit_period
+
+    @property
+    def effective_throughput_bps(self) -> float:
+        """Error-free goodput: raw rate scaled by correct-bit fraction."""
+        return self.raw_throughput_bps * (1.0 - self.bit_error_rate)
+
+
+class PowerCovertSender:
+    """The FPGA-side conspirator: modulates a power load per bit.
+
+    Args:
+        p_high: additional watts drawn while transmitting a 1.  Any
+            ordinary compute kernel can serve as the load; no special
+            circuit is required (contrast with RO-based channels).
+        p_low: watts drawn for a 0 (idle leakage of the load logic).
+    """
+
+    def __init__(self, p_high: float = 1.2, p_low: float = 0.02):
+        if p_high <= p_low:
+            raise ValueError("p_high must exceed p_low")
+        if p_low < 0:
+            raise ValueError("p_low must be >= 0")
+        self.p_high = float(p_high)
+        self.p_low = float(p_low)
+
+    def modulate(
+        self, bits: Sequence[int], bit_period: float, start: float = 0.0
+    ) -> PiecewiseActivity:
+        """OOK-modulate ``bits`` (preamble prepended) into a timeline."""
+        require_positive(bit_period, "bit_period")
+        frame = list(PREAMBLE) + [1 if bit else 0 for bit in bits]
+        segments = [
+            (bit_period, self.p_high if bit else self.p_low) for bit in frame
+        ]
+        return PiecewiseActivity.from_segments(segments, start=start)
+
+
+class PowerCovertReceiver:
+    """The CPU-side conspirator: an unprivileged hwmon polling loop."""
+
+    def __init__(
+        self,
+        sampler: HwmonSampler,
+        domain: str = "fpga",
+        oversample: int = 4,
+    ):
+        self.sampler = sampler
+        self.domain = domain
+        if oversample < 1:
+            raise ValueError("oversample must be >= 1")
+        self.oversample = int(oversample)
+
+    def _bit_means(
+        self, start: float, n_bits: int, bit_period: float
+    ) -> np.ndarray:
+        """Mean current per bit window (discarding window edges)."""
+        update = self.sampler.soc.device(self.domain).update_period
+        polls_per_bit = max(self.oversample, int(bit_period / update))
+        trace = self.sampler.collect(
+            self.domain,
+            "current",
+            start=start,
+            n_samples=n_bits * polls_per_bit,
+            poll_hz=polls_per_bit / bit_period,
+        )
+        values = trace.values.astype(np.float64)
+        windows = values.reshape(n_bits, polls_per_bit)
+        # Drop the first poll of each window: it may still serve the
+        # previous bit's cached conversion.
+        if polls_per_bit > 1:
+            windows = windows[:, 1:]
+        return windows.mean(axis=1)
+
+    def demodulate(
+        self, start: float, n_payload_bits: int, bit_period: float
+    ) -> List[int]:
+        """Recover a payload sent with :class:`PowerCovertSender`.
+
+        The alternating preamble self-calibrates the slicing threshold
+        (midpoint of the high/low means), so the receiver needs no
+        prior knowledge of the board's idle current.
+        """
+        total_bits = len(PREAMBLE) + n_payload_bits
+        means = self._bit_means(start, total_bits, bit_period)
+        preamble_means = means[: len(PREAMBLE)]
+        highs = preamble_means[np.array(PREAMBLE, dtype=bool)]
+        lows = preamble_means[~np.array(PREAMBLE, dtype=bool)]
+        threshold = (highs.mean() + lows.mean()) / 2.0
+        payload = means[len(PREAMBLE):]
+        return [int(value > threshold) for value in payload]
+
+
+class CovertChannel:
+    """End-to-end channel harness over one simulated SoC."""
+
+    def __init__(
+        self,
+        soc: Optional[Soc] = None,
+        sender: Optional[PowerCovertSender] = None,
+        seed: Optional[int] = 0,
+    ):
+        self.soc = soc if soc is not None else Soc("ZCU102", seed=seed)
+        self.sender = sender if sender is not None else PowerCovertSender()
+        self.receiver = PowerCovertReceiver(HwmonSampler(self.soc, seed=seed))
+        self._clock = 1.0
+
+    def transmit(
+        self, bits: Sequence[int], bit_period: float = 0.08
+    ) -> ChannelReport:
+        """Send ``bits`` across the boundary and report the outcome."""
+        bits = tuple(1 if bit else 0 for bit in bits)
+        start = self._clock
+        frame_seconds = (len(PREAMBLE) + len(bits)) * bit_period
+        self._clock += frame_seconds + 1.0
+        timeline = self.sender.modulate(bits, bit_period, start=start)
+        self.soc.replace_workload("fpga", "covert-sender", timeline)
+        received = self.receiver.demodulate(start, len(bits), bit_period)
+        self.soc.detach_workload("fpga", "covert-sender")
+        return ChannelReport(
+            sent=bits, received=tuple(received), bit_period=bit_period
+        )
+
+    def capacity_sweep(
+        self, bit_periods: Sequence[float], n_bits: int = 64, seed: int = 0
+    ) -> List[ChannelReport]:
+        """Measure BER/goodput across signaling rates."""
+        rng = np.random.default_rng(seed)
+        reports = []
+        for bit_period in bit_periods:
+            bits = rng.integers(0, 2, size=n_bits)
+            reports.append(self.transmit(bits, bit_period=bit_period))
+        return reports

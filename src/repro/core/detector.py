@@ -1,0 +1,169 @@
+"""Victim-activity onset detection from current traces.
+
+Both end-to-end attacks need to know *when* the victim runs: the
+fingerprinting attack must trim its trace to the inference window, and
+the RSA attack should discard samples collected while the circuit was
+idle.  This module provides a simple, dependency-free change-point
+detector over hwmon current traces: a rolling baseline with a z-score
+trigger, plus helpers to segment a trace into active episodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.traces import Trace
+from repro.utils.validation import require_int_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class Episode:
+    """One detected activity episode, as sample indices [start, end)."""
+
+    start: int
+    end: int
+
+    @property
+    def length(self) -> int:
+        """Number of samples inside the episode."""
+        return self.end - self.start
+
+
+class OnsetDetector:
+    """Rolling-baseline z-score change detector.
+
+    Args:
+        baseline_window: samples used to estimate the idle baseline.
+        z_threshold: trigger level in baseline standard deviations.
+        min_gap: episodes separated by fewer idle samples are merged.
+        min_sigma: floor on the baseline deviation (quantized idle
+            traces can have zero variance; one LSB is the natural
+            floor).
+    """
+
+    def __init__(
+        self,
+        baseline_window: int = 16,
+        z_threshold: float = 5.0,
+        min_gap: int = 3,
+        min_sigma: float = 1.0,
+    ):
+        self.baseline_window = require_int_in_range(
+            baseline_window, 2, 1_000_000, "baseline_window"
+        )
+        self.z_threshold = require_positive(z_threshold, "z_threshold")
+        self.min_gap = require_int_in_range(min_gap, 0, 1_000_000, "min_gap")
+        self.min_sigma = require_positive(min_sigma, "min_sigma")
+
+    def estimate_baseline(self, values: np.ndarray) -> Tuple[float, float]:
+        """(mean, sigma) of the leading idle window — reusable across
+        later recordings (a stakeout loop measures idle once)."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size < self.baseline_window:
+            raise ValueError(
+                f"need at least baseline_window={self.baseline_window} "
+                f"samples, got {values.size}"
+            )
+        window = values[: self.baseline_window]
+        return float(window.mean()), float(
+            max(window.std(), self.min_sigma)
+        )
+
+    def scores(
+        self,
+        values: np.ndarray,
+        baseline: Optional[Tuple[float, float]] = None,
+    ) -> np.ndarray:
+        """Per-sample z-scores against an idle baseline.
+
+        Without an explicit ``baseline`` the leading
+        ``baseline_window`` samples estimate it (so the trace must
+        start idle); stakeout loops pass a baseline captured earlier.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if baseline is None:
+            if values.size <= self.baseline_window:
+                raise ValueError(
+                    f"need more than baseline_window="
+                    f"{self.baseline_window} samples, got {values.size}"
+                )
+            mu, sigma = self.estimate_baseline(values)
+        else:
+            mu, sigma = baseline
+            if sigma <= 0:
+                raise ValueError("baseline sigma must be > 0")
+        return (values - mu) / sigma
+
+    def active_mask(
+        self,
+        values: np.ndarray,
+        baseline: Optional[Tuple[float, float]] = None,
+    ) -> np.ndarray:
+        """Boolean mask of samples flagged as victim activity."""
+        scores = self.scores(values, baseline=baseline)
+        mask = np.abs(scores) >= self.z_threshold
+        if baseline is None:
+            # Never flag the self-estimated baseline region itself.
+            mask[: self.baseline_window] = False
+        return mask
+
+    def episodes(
+        self,
+        values: np.ndarray,
+        baseline: Optional[Tuple[float, float]] = None,
+    ) -> List[Episode]:
+        """Contiguous active episodes, with short gaps bridged."""
+        mask = self.active_mask(values, baseline=baseline)
+        episodes: List[Episode] = []
+        start = None
+        gap = 0
+        for index, active in enumerate(mask):
+            if active:
+                if start is None:
+                    start = index
+                gap = 0
+            elif start is not None:
+                gap += 1
+                if gap > self.min_gap:
+                    episodes.append(Episode(start, index - gap + 1))
+                    start = None
+                    gap = 0
+        if start is not None:
+            episodes.append(Episode(start, len(mask) - gap))
+        return episodes
+
+    def detect_onset(
+        self,
+        trace: Trace,
+        baseline: Optional[Tuple[float, float]] = None,
+    ) -> Tuple[bool, float]:
+        """Did the victim start, and when (trace timestamp)?
+
+        Returns ``(False, nan)`` when no activity is found.
+        """
+        found = self.episodes(np.asarray(trace.values), baseline=baseline)
+        if not found:
+            return False, float("nan")
+        return True, float(trace.times[found[0].start])
+
+    def trim_to_activity(self, trace: Trace) -> Trace:
+        """The sub-trace spanning first to last detected activity.
+
+        Raises :class:`ValueError` when the trace shows no activity —
+        callers should treat that as "victim never ran".
+        """
+        found = self.episodes(np.asarray(trace.values))
+        if not found:
+            raise ValueError("no victim activity detected in trace")
+        start = found[0].start
+        end = found[-1].end
+        return Trace(
+            times=trace.times[start:end],
+            values=trace.values[start:end],
+            domain=trace.domain,
+            quantity=trace.quantity,
+            label=trace.label,
+        )

@@ -1,0 +1,73 @@
+"""Feature extraction for side-channel traces.
+
+The paper's fingerprinting uses "straightforward features" — the raw
+hwmon readings over the collection window — fed to a random forest.
+The only processing needed is bringing variable-length polling sessions
+onto a fixed-width grid (resampling) so traces of different durations
+and poll phases align column-wise, plus optional standardization.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.validation import require_int_in_range
+
+
+def resample_values(values: np.ndarray, n_features: int) -> np.ndarray:
+    """Resample a 1-D series to exactly ``n_features`` points.
+
+    Linear interpolation over the normalized sample index: robust to
+    small length differences between traces (poll jitter, truncation)
+    while preserving the trace's shape.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    n_features = require_int_in_range(n_features, 1, 1_000_000, "n_features")
+    if values.size == 1:
+        return np.full(n_features, values[0])
+    source = np.linspace(0.0, 1.0, values.size)
+    target = np.linspace(0.0, 1.0, n_features)
+    return np.interp(target, source, values)
+
+
+def standardize(matrix: np.ndarray) -> np.ndarray:
+    """Zero-mean / unit-variance per column (constant columns pass
+    through unchanged, shifted to zero)."""
+    matrix = np.asarray(matrix, dtype=np.float64)
+    if matrix.ndim != 2:
+        raise ValueError("matrix must be 2-D")
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    safe = np.where(std > 0, std, 1.0)
+    return (matrix - mean) / safe
+
+
+def summary_features(values: np.ndarray) -> np.ndarray:
+    """Compact 8-feature summary of one trace.
+
+    Mean / std / min / max / quartiles / mean absolute step — useful
+    for quick demos and as a baseline against the full resampled
+    representation.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1 or values.size == 0:
+        raise ValueError("values must be a non-empty 1-D array")
+    q1, median, q3 = np.percentile(values, [25, 50, 75])
+    if values.size > 1:
+        mean_step = float(np.mean(np.abs(np.diff(values))))
+    else:
+        mean_step = 0.0
+    return np.array(
+        [
+            values.mean(),
+            values.std(),
+            values.min(),
+            values.max(),
+            q1,
+            median,
+            q3,
+            mean_step,
+        ]
+    )

@@ -1,0 +1,300 @@
+"""DNN model fingerprinting on the DPU (paper §IV-B, Fig 3, Table III).
+
+Two phases, as in the paper:
+
+* **Offline preparation** — for every victim architecture, trigger
+  serving runs on the (encrypted) DPU and record hwmon traces from
+  each sensor channel; train one random-forest classifier per channel.
+* **Online classification** — record a trace of the black-box victim
+  through the same channel and ask the matching classifier which of
+  the 39 architectures produced it.
+
+The evaluation protocol is 10-fold cross-validation over the labeled
+trace sets, scored as top-1/top-5 accuracy for each channel and each
+trace duration (1 s .. 5 s), which regenerates Table III.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.sampler import HwmonSampler
+from repro.core.traces import Trace, TraceSet
+from repro.dpu.models import ModelSpec, build_model, list_models
+from repro.dpu.runner import DpuRunner
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.validation import CrossValidationResult, cross_validate
+from repro.soc.soc import Soc
+from repro.utils.rng import derive_seed
+
+#: The six Table III channels: (domain, quantity).
+TABLE3_CHANNELS: Tuple[Tuple[str, str], ...] = (
+    ("fpd", "current"),
+    ("lpd", "current"),
+    ("ddr", "current"),
+    ("fpga", "current"),
+    ("fpga", "voltage"),
+    ("fpga", "power"),
+)
+
+#: Table III's duration columns in seconds.
+TABLE3_DURATIONS: Tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0)
+
+
+@dataclass(frozen=True)
+class FingerprintConfig:
+    """Knobs of the fingerprinting experiment.
+
+    Attributes:
+        duration: full trace length in seconds (paper: 5 s per model).
+        traces_per_model: recordings per architecture in the offline
+            set.
+        n_features: resampled feature width fed to the forest (a 5 s
+            trace at the 35.2 ms update interval holds ~142 readings).
+        n_folds: cross-validation folds (paper: 10).
+        forest_trees: trees per forest (paper: 100).
+        forest_depth: maximum tree depth (paper: 32).
+    """
+
+    duration: float = 5.0
+    traces_per_model: int = 20
+    n_features: int = 140
+    n_folds: int = 10
+    forest_trees: int = 100
+    forest_depth: int = 32
+
+    def __post_init__(self):
+        if self.duration <= 0:
+            raise ValueError("duration must be > 0")
+        if self.traces_per_model < self.n_folds // 5 + 1:
+            # Each class must appear in multiple folds for stratified CV.
+            pass
+        if self.traces_per_model < 2:
+            raise ValueError("need at least two traces per model")
+
+
+#: A faster-but-faithful configuration for CI-style runs: fewer trees
+#: and folds (the accuracies are stable well below the paper's 100/10).
+FAST_CONFIG = FingerprintConfig(
+    traces_per_model=10, n_folds=5, forest_trees=30
+)
+
+
+class DnnFingerprinter:
+    """Mounts the fingerprinting attack end to end on a simulated SoC."""
+
+    def __init__(
+        self,
+        soc: Optional[Soc] = None,
+        runner: Optional[DpuRunner] = None,
+        sampler: Optional[HwmonSampler] = None,
+        config: FingerprintConfig = None,
+        seed: Optional[int] = 0,
+    ):
+        self.soc = soc if soc is not None else Soc("ZCU102", seed=seed)
+        self.runner = runner if runner is not None else DpuRunner()
+        self.sampler = (
+            sampler
+            if sampler is not None
+            else HwmonSampler(self.soc, seed=seed)
+        )
+        self.config = config if config is not None else FingerprintConfig()
+        self.seed = seed
+        self._clock = 1.0  # virtual experiment time, advanced per run
+
+    # ---------------------------------------------------- collection
+
+    def _next_window(self) -> float:
+        """Reserve a fresh time window for one victim run."""
+        start = self._clock
+        guard = 4 * self.soc.device("fpga").update_period
+        self._clock += self.config.duration + 0.3 + guard
+        return start
+
+    def record_run(
+        self,
+        model: ModelSpec,
+        channels: Sequence[Tuple[str, str]] = TABLE3_CHANNELS,
+        run_index: int = 0,
+    ) -> Dict[Tuple[str, str], Trace]:
+        """Run one victim serving session and record every channel.
+
+        The victim runs once; all requested sensors observe the same
+        physical window (they are independent INA226 devices polling
+        the same activity), exactly as concurrent sampling threads on
+        the real board would see it.
+        """
+        start = self._next_window()
+        run_seed = derive_seed(self.seed, f"run-{model.name}-{run_index}")
+        self.runner.deploy(
+            self.soc,
+            model,
+            duration=self.config.duration + 0.3,
+            seed=run_seed,
+            start=start,
+        )
+        traces: Dict[Tuple[str, str], Trace] = {}
+        for domain, quantity in channels:
+            traces[(domain, quantity)] = self.sampler.collect(
+                domain,
+                quantity,
+                start=start,
+                duration=self.config.duration,
+                label=model.name,
+            )
+        self.runner.undeploy(self.soc)
+        return traces
+
+    def collect_datasets(
+        self,
+        models: Optional[Iterable[str]] = None,
+        channels: Sequence[Tuple[str, str]] = TABLE3_CHANNELS,
+        traces_per_model: Optional[int] = None,
+    ) -> Dict[Tuple[str, str], TraceSet]:
+        """Offline phase: labeled trace sets for every channel."""
+        if models is None:
+            models = list_models()
+        if traces_per_model is None:
+            traces_per_model = self.config.traces_per_model
+        datasets: Dict[Tuple[str, str], TraceSet] = {
+            channel: TraceSet() for channel in channels
+        }
+        for name in models:
+            model = build_model(name)
+            for repetition in range(traces_per_model):
+                run = self.record_run(
+                    model, channels=channels, run_index=repetition
+                )
+                for channel, trace in run.items():
+                    datasets[channel].add(trace)
+        return datasets
+
+    # ---------------------------------------------------- evaluation
+
+    def _forest_factory(self):
+        fit_seed = derive_seed(self.seed, "forest")
+
+        def factory():
+            return RandomForestClassifier(
+                n_estimators=self.config.forest_trees,
+                max_depth=self.config.forest_depth,
+                seed=fit_seed,
+            )
+
+        return factory
+
+    def evaluate_channel(
+        self,
+        dataset: TraceSet,
+        duration: Optional[float] = None,
+    ) -> CrossValidationResult:
+        """Cross-validate one channel's dataset at one trace duration."""
+        if duration is not None:
+            dataset = dataset.truncated(duration)
+            fraction = duration / self.config.duration
+        else:
+            fraction = 1.0
+        n_features = max(4, int(self.config.n_features * fraction))
+        X, y = dataset.to_matrix(n_features)
+        return cross_validate(
+            X,
+            y,
+            n_folds=self.config.n_folds,
+            classifier_factory=self._forest_factory(),
+            seed=derive_seed(self.seed, "cv"),
+        )
+
+    def evaluate_table3(
+        self,
+        datasets: Dict[Tuple[str, str], TraceSet],
+        durations: Sequence[float] = TABLE3_DURATIONS,
+    ) -> Dict[Tuple[str, str, float], CrossValidationResult]:
+        """The full Table III grid: channels x durations."""
+        results: Dict[Tuple[str, str, float], CrossValidationResult] = {}
+        for channel, dataset in datasets.items():
+            domain, quantity = channel
+            for duration in durations:
+                results[(domain, quantity, duration)] = (
+                    self.evaluate_channel(dataset, duration=duration)
+                )
+        return results
+
+    def evaluate_fused(
+        self,
+        datasets: Dict[Tuple[str, str], TraceSet],
+        channels: Sequence[Tuple[str, str]] = None,
+        duration: Optional[float] = None,
+    ) -> CrossValidationResult:
+        """Fuse several channels into one feature vector and evaluate.
+
+        An attacker is not limited to one sysfs file: the four current
+        sensors can be polled concurrently and their traces
+        concatenated.  Fusion is our extension beyond Table III —
+        it should never do worse than the best single channel by much,
+        and typically recovers mistakes single channels make.
+        """
+        if channels is None:
+            channels = [c for c in datasets if c[1] == "current"]
+        if not channels:
+            raise ValueError("need at least one channel to fuse")
+        per_channel = []
+        labels = None
+        fraction = 1.0
+        if duration is not None:
+            fraction = duration / self.config.duration
+        n_features = max(4, int(self.config.n_features * fraction))
+        for channel in channels:
+            dataset = datasets[channel]
+            if duration is not None:
+                dataset = dataset.truncated(duration)
+            X, y = dataset.to_matrix(n_features)
+            per_channel.append(X)
+            if labels is None:
+                labels = y
+            elif not np.array_equal(labels, y):
+                raise ValueError(
+                    "channels carry differently-ordered labels; collect "
+                    "them from the same runs (record_run does this)"
+                )
+        fused = np.hstack(per_channel)
+        return cross_validate(
+            fused,
+            labels,
+            n_folds=self.config.n_folds,
+            classifier_factory=self._forest_factory(),
+            seed=derive_seed(self.seed, "cv-fused"),
+        )
+
+    # ------------------------------------------- online classification
+
+    def train(self, dataset: TraceSet) -> RandomForestClassifier:
+        """Offline phase: fit one channel's classifier on all traces."""
+        X, y = dataset.to_matrix(self.config.n_features)
+        forest = self._forest_factory()()
+        forest.fit(X, y)
+        return forest
+
+    def classify(
+        self, classifier: RandomForestClassifier, trace: Trace
+    ) -> str:
+        """Online phase: name the architecture behind one new trace."""
+        from repro.core.features import resample_values
+
+        features = resample_values(
+            trace.values, self.config.n_features
+        )[np.newaxis, :]
+        return str(classifier.predict(features)[0])
+
+    def classify_topk(
+        self, classifier: RandomForestClassifier, trace: Trace, k: int = 5
+    ) -> List[str]:
+        """Online phase, top-k candidates (Table III's second rows)."""
+        from repro.core.features import resample_values
+
+        features = resample_values(
+            trace.values, self.config.n_features
+        )[np.newaxis, :]
+        return [str(name) for name in classifier.predict_topk(features, k)[0]]

@@ -1,0 +1,78 @@
+"""Trace persistence: save/load trace sets as ``.npz`` archives.
+
+The offline fingerprinting phase is collect-once / train-many: traces
+recorded on the device get archived and shipped to the analysis
+machine.  Traces are stored in one compressed numpy archive with a
+small JSON header, so a dataset survives round trips bit-exactly
+(readings are integers; timestamps are float64).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.traces import Trace, TraceSet
+
+#: Archive format version, bumped on layout changes.
+FORMAT_VERSION = 1
+
+
+def save_traceset(traceset: TraceSet, path: Union[str, Path]) -> Path:
+    """Write a trace set to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    header = {
+        "version": FORMAT_VERSION,
+        "n_traces": len(traceset),
+        "traces": [
+            {
+                "domain": trace.domain,
+                "quantity": trace.quantity,
+                "label": trace.label,
+            }
+            for trace in traceset
+        ],
+    }
+    arrays = {"header": np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )}
+    for index, trace in enumerate(traceset):
+        arrays[f"times_{index}"] = trace.times
+        arrays[f"values_{index}"] = trace.values
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_traceset(path: Union[str, Path]) -> TraceSet:
+    """Read a trace set written by :func:`save_traceset`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no trace archive at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            header_bytes = archive["header"].tobytes()
+        except KeyError:
+            raise ValueError(f"{path} is not a trace archive") from None
+        header = json.loads(header_bytes.decode("utf-8"))
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace archive version {header.get('version')}"
+            )
+        traceset = TraceSet()
+        for index, meta in enumerate(header["traces"]):
+            traceset.add(
+                Trace(
+                    times=archive[f"times_{index}"],
+                    values=archive[f"values_{index}"],
+                    domain=meta["domain"],
+                    quantity=meta["quantity"],
+                    label=meta["label"],
+                )
+            )
+    return traceset

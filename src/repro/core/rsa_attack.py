@@ -1,0 +1,198 @@
+"""RSA Hamming-weight inference (paper §IV-C, Fig 4).
+
+The victim is a 100 MHz RSA-1024 square-and-multiply circuit looping
+encryptions of a random plaintext; its secret exponent is sealed in
+the encrypted bitstream.  The unprivileged attacker polls the FPGA
+current file at 1 kHz and records 100 k samples.  Because the multiply
+module is active only on 1-bits, the rail's mean power — hence current
+— is linear in the exponent's Hamming weight, and the 1 mA current
+resolution separates all 17 test keys while the 25 mW power resolution
+collapses them into ~5 groups.
+
+Knowing the Hamming weight shrinks the brute-force key space and seeds
+statistical key-recovery attacks (the paper cites Sarkar & Maitra).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.distributions import (
+    DistributionSummary,
+    count_groups,
+    summarize,
+)
+from repro.analysis.stats import LinearFit, linear_fit
+from repro.core.sampler import HwmonSampler
+from repro.crypto.rsa_math import (
+    PAPER_HAMMING_WEIGHTS,
+    make_exponent_with_weight,
+    random_modulus,
+)
+from repro.fpga.rsa import RsaCircuit
+from repro.soc.soc import Soc
+from repro.utils.rng import derive_seed
+from repro.utils.validation import require_int_in_range, require_positive
+
+#: Channel LSB in hwmon units, for grouping analysis.
+GROUP_GAP = {"current": 1.0, "power": 25_000.0}
+
+
+@dataclass(frozen=True)
+class KeyProfile:
+    """Readings collected while one key was in use."""
+
+    weight: int
+    quantity: str
+    values: np.ndarray
+
+    @property
+    def summary(self) -> DistributionSummary:
+        """Box-plot summary (what Fig 4 draws per key)."""
+        return summarize(self.values)
+
+
+@dataclass(frozen=True)
+class WeightSweepResult:
+    """Fig 4 for one channel: per-key reading distributions."""
+
+    quantity: str
+    profiles: Tuple[KeyProfile, ...]
+
+    @property
+    def weights(self) -> np.ndarray:
+        """Hamming weights, in sweep order."""
+        return np.asarray([profile.weight for profile in self.profiles])
+
+    @property
+    def medians(self) -> np.ndarray:
+        """Median reading per key."""
+        return np.asarray(
+            [profile.summary.median for profile in self.profiles]
+        )
+
+    def distinguishable_groups(self, min_gap: Optional[float] = None) -> int:
+        """How many of the 17 keys stay distinguishable on this channel."""
+        if min_gap is None:
+            min_gap = GROUP_GAP.get(self.quantity, 1.0)
+        return count_groups(self.medians, min_gap)
+
+    def calibration(self) -> LinearFit:
+        """Median-vs-weight line: the attacker's decoding curve."""
+        return linear_fit(self.weights, self.medians)
+
+
+class RsaHammingWeightAttack:
+    """Mounts the Fig 4 experiment on a simulated SoC.
+
+    Args:
+        soc: the platform (default: seeded ZCU102).
+        sampler: the polling loop (default: fresh unprivileged sampler).
+        sampling_hz: poll rate (paper: 1 kHz — far above the 35 ms
+            sensor refresh, so readings repeat in runs of ~35).
+        seed: keys key construction and the victim's plaintext.
+    """
+
+    def __init__(
+        self,
+        soc: Optional[Soc] = None,
+        sampler: Optional[HwmonSampler] = None,
+        sampling_hz: float = 1000.0,
+        seed: Optional[int] = 0,
+    ):
+        self.soc = soc if soc is not None else Soc("ZCU102", seed=seed)
+        self.sampler = (
+            sampler
+            if sampler is not None
+            else HwmonSampler(self.soc, seed=seed)
+        )
+        self.sampling_hz = require_positive(sampling_hz, "sampling_hz")
+        self.seed = seed
+        self.modulus = random_modulus(seed=seed)
+        self._clock = 1.0
+
+    def make_circuit(self, weight: int) -> RsaCircuit:
+        """The victim circuit for one Hamming-weight test key."""
+        exponent = make_exponent_with_weight(weight, seed=self.seed)
+        return RsaCircuit(exponent, self.modulus)
+
+    def profile_key(
+        self,
+        circuit: RsaCircuit,
+        quantity: str = "current",
+        n_samples: int = 35_000,
+    ) -> KeyProfile:
+        """Record ``n_samples`` polls while ``circuit`` loops encryptions."""
+        n_samples = require_int_in_range(
+            n_samples, 10, 100_000_000, "n_samples"
+        )
+        start = self._clock
+        self._clock += n_samples / self.sampling_hz + 1.0
+        self.soc.replace_workload(
+            "fpga", "rsa", circuit.timeline(start=start)
+        )
+        trace = self.sampler.collect(
+            "fpga",
+            quantity,
+            start=start,
+            n_samples=n_samples,
+            poll_hz=self.sampling_hz,
+            label=f"hw-{circuit.hamming_weight}",
+        )
+        self.soc.detach_workload("fpga", "rsa")
+        return KeyProfile(
+            weight=circuit.hamming_weight,
+            quantity=quantity,
+            values=np.asarray(trace.values, dtype=np.float64),
+        )
+
+    def sweep(
+        self,
+        weights: Sequence[int] = PAPER_HAMMING_WEIGHTS,
+        quantity: str = "current",
+        n_samples: int = 35_000,
+    ) -> WeightSweepResult:
+        """Profile every test key on one channel (one Fig 4 panel)."""
+        profiles = tuple(
+            self.profile_key(
+                self.make_circuit(weight),
+                quantity=quantity,
+                n_samples=n_samples,
+            )
+            for weight in weights
+        )
+        return WeightSweepResult(quantity=quantity, profiles=profiles)
+
+    def infer_weight(
+        self, values: np.ndarray, calibration: LinearFit
+    ) -> float:
+        """Decode an unknown key's Hamming weight from its readings.
+
+        Inverts the calibration line at the observed median; the
+        attacker rounds to the nearest plausible weight.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("need at least one reading")
+        if calibration.slope == 0:
+            raise ValueError("degenerate calibration (zero slope)")
+        median = float(np.median(values))
+        return (median - calibration.intercept) / calibration.slope
+
+    def end_to_end(
+        self,
+        true_weight: int,
+        calibration: LinearFit,
+        n_samples: int = 35_000,
+        quantity: str = "current",
+    ) -> float:
+        """Full online attack on one unknown key; returns the estimate."""
+        profile = self.profile_key(
+            self.make_circuit(true_weight),
+            quantity=quantity,
+            n_samples=n_samples,
+        )
+        return self.infer_weight(profile.values, calibration)

@@ -1,0 +1,163 @@
+"""Side-channel traces: what the attacking process actually records.
+
+A :class:`Trace` is one polling session of one hwmon channel: the poll
+timestamps, the integer readings the sysfs file returned, and the
+labels the attack pipeline needs (which sensor, which quantity, and —
+during the offline phase — which victim produced it).  A
+:class:`TraceSet` is a labeled collection that can flatten itself into
+the fixed-size feature matrix the classifier consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One recorded side-channel trace.
+
+    Attributes:
+        times: poll timestamps in seconds (monotonic).
+        values: integer readings in hwmon units (mA / mV / uW).
+        domain: sensor domain key (``"fpga"``, ``"ddr"``, ...).
+        quantity: ``"current"``, ``"voltage"`` or ``"power"``.
+        label: ground-truth tag (victim model name) when known.
+    """
+
+    times: np.ndarray
+    values: np.ndarray
+    domain: str
+    quantity: str
+    label: Optional[str] = None
+
+    def __post_init__(self):
+        times = np.asarray(self.times, dtype=np.float64)
+        values = np.asarray(self.values)
+        if times.ndim != 1 or values.ndim != 1:
+            raise ValueError("times and values must be one-dimensional")
+        if times.size != values.size:
+            raise ValueError("times and values must have equal length")
+        if times.size == 0:
+            raise ValueError("a trace needs at least one sample")
+        if times.size > 1 and np.any(np.diff(times) < 0):
+            raise ValueError("times must be non-decreasing")
+        object.__setattr__(self, "times", times)
+        object.__setattr__(self, "values", values)
+
+    @property
+    def n_samples(self) -> int:
+        """Number of recorded polls."""
+        return int(self.values.size)
+
+    @property
+    def duration(self) -> float:
+        """Span of the polling session in seconds."""
+        return float(self.times[-1] - self.times[0])
+
+    def truncated(self, duration: float) -> "Trace":
+        """The prefix covering the first ``duration`` seconds.
+
+        This is how Table III's 1 s / 2 s / ... columns are produced
+        from the 5 s full-length recordings.
+        """
+        if duration <= 0:
+            raise ValueError("duration must be > 0")
+        cutoff = self.times[0] + duration
+        keep = self.times <= cutoff + 1e-12
+        if not keep.any():
+            keep[0] = True
+        return Trace(
+            times=self.times[keep],
+            values=self.values[keep],
+            domain=self.domain,
+            quantity=self.quantity,
+            label=self.label,
+        )
+
+    def relabeled(self, label: str) -> "Trace":
+        """A copy with a different ground-truth label."""
+        return Trace(
+            times=self.times,
+            values=self.values,
+            domain=self.domain,
+            quantity=self.quantity,
+            label=label,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Trace({self.domain}/{self.quantity}, {self.n_samples} samples, "
+            f"{self.duration:.2f} s, label={self.label!r})"
+        )
+
+
+@dataclass
+class TraceSet:
+    """A labeled collection of traces (one classifier's dataset)."""
+
+    traces: List[Trace] = field(default_factory=list)
+
+    def add(self, trace: Trace) -> None:
+        """Append one trace."""
+        if not isinstance(trace, Trace):
+            raise TypeError("only Trace objects can be added")
+        self.traces.append(trace)
+
+    def __len__(self) -> int:
+        return len(self.traces)
+
+    def __iter__(self):
+        return iter(self.traces)
+
+    @property
+    def labels(self) -> List[Optional[str]]:
+        """Ground-truth label of each trace, in order."""
+        return [trace.label for trace in self.traces]
+
+    def filter(self, domain: str = None, quantity: str = None) -> "TraceSet":
+        """Subset by sensor domain and/or quantity."""
+        kept = [
+            trace
+            for trace in self.traces
+            if (domain is None or trace.domain == domain)
+            and (quantity is None or trace.quantity == quantity)
+        ]
+        return TraceSet(kept)
+
+    def truncated(self, duration: float) -> "TraceSet":
+        """Every trace truncated to its first ``duration`` seconds."""
+        return TraceSet([trace.truncated(duration) for trace in self.traces])
+
+    def to_matrix(
+        self, n_features: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fixed-width feature matrix + label vector for the classifier.
+
+        Each trace is resampled to ``n_features`` points (see
+        :func:`repro.core.features.resample_values`); unlabeled traces
+        are rejected since the matrix is a supervised dataset.
+        """
+        from repro.core.features import resample_values
+
+        if not self.traces:
+            raise ValueError("empty trace set")
+        rows = []
+        labels = []
+        for trace in self.traces:
+            if trace.label is None:
+                raise ValueError("all traces must be labeled for to_matrix")
+            rows.append(resample_values(trace.values, n_features))
+            labels.append(trace.label)
+        return np.vstack(rows), np.asarray(labels)
+
+    def summary(self) -> Dict[str, int]:
+        """Trace count per label."""
+        counts: Dict[str, int] = {}
+        for trace in self.traces:
+            key = trace.label if trace.label is not None else "<unlabeled>"
+            counts[key] = counts.get(key, 0) + 1
+        return counts

@@ -1,0 +1,141 @@
+"""RSA reference arithmetic and the paper's 17-key construction.
+
+The victim circuit (paper §IV-C, after Zhao & Suh) computes modular
+exponentiation with the LSB-first square-and-multiply algorithm: the
+state machine iterates over every bit of the 1024-bit exponent; each
+iteration always squares, and *additionally* multiplies when the
+current exponent bit is 1.  The number of multiply activations over a
+full exponentiation therefore equals the exponent's Hamming weight —
+the quantity AmpereBleed recovers from the current trace.
+
+This module provides the bit-exact reference (validated against
+Python's ``pow``), Hamming-weight utilities, and the construction of
+the paper's 17 test keys with Hamming weights {1, 64, 128, ..., 1024}.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, spawn
+
+#: The paper's modulus width.
+RSA_BITS = 1024
+
+#: Fig 4's Hamming-weight grid: 1, then multiples of 64 up to 1024.
+PAPER_HAMMING_WEIGHTS: Tuple[int, ...] = (1,) + tuple(
+    64 * k for k in range(1, 17)
+)
+
+
+def hamming_weight(value: int) -> int:
+    """Number of set bits in a non-negative integer."""
+    if value < 0:
+        raise ValueError("hamming_weight is defined for non-negative integers")
+    return bin(value).count("1")
+
+
+def exponent_bits_lsb_first(exponent: int, width: int = RSA_BITS) -> List[int]:
+    """The exponent's bits, least-significant first, padded to ``width``.
+
+    The circuit's state machine walks exactly ``width`` iterations
+    regardless of the key value (it shifts the full register), so the
+    padding zeros matter: they are iterations with only the square
+    module active.
+    """
+    if exponent < 0:
+        raise ValueError("exponent must be non-negative")
+    if exponent.bit_length() > width:
+        raise ValueError(
+            f"exponent needs {exponent.bit_length()} bits, width is {width}"
+        )
+    return [(exponent >> i) & 1 for i in range(width)]
+
+
+def square_and_multiply(
+    base: int, exponent: int, modulus: int, width: int = RSA_BITS
+) -> int:
+    """LSB-first square-and-multiply modular exponentiation.
+
+    Matches the victim circuit's algorithm exactly (fixed ``width``
+    iterations); equal to ``pow(base, exponent, modulus)``.
+    """
+    if modulus <= 0:
+        raise ValueError("modulus must be positive")
+    result = 1 % modulus
+    square = base % modulus
+    for bit in exponent_bits_lsb_first(exponent, width):
+        if bit:
+            result = (result * square) % modulus
+        square = (square * square) % modulus
+    return result
+
+
+def square_and_multiply_trace(
+    base: int, exponent: int, modulus: int, width: int = RSA_BITS
+) -> Tuple[int, List[int]]:
+    """Like :func:`square_and_multiply`, also returning the per-iteration
+    multiply-activation schedule (1 = both modules active, 0 = square
+    only) — the side-channel-relevant control flow."""
+    schedule = exponent_bits_lsb_first(exponent, width)
+    return square_and_multiply(base, exponent, modulus, width), schedule
+
+
+def make_exponent_with_weight(
+    weight: int, width: int = RSA_BITS, seed: RngLike = None
+) -> int:
+    """Construct a ``width``-bit exponent with exact Hamming weight.
+
+    Bit positions are drawn uniformly without replacement, matching the
+    paper's "17 distinct keys whose Hamming weights increase in
+    intervals of 64" (the first key is 1 since the circuit does not
+    support a zero exponent).
+    """
+    if not (1 <= weight <= width):
+        raise ValueError(f"weight must be in [1, {width}], got {weight}")
+    rng = spawn(seed, f"rsa-exponent-w{weight}")
+    positions = rng.choice(width, size=weight, replace=False)
+    exponent = 0
+    for position in positions:
+        exponent |= 1 << int(position)
+    return exponent
+
+
+def paper_key_set(
+    width: int = RSA_BITS, seed: RngLike = None
+) -> List[Tuple[int, int]]:
+    """The paper's 17 (hamming_weight, exponent) pairs for Fig 4."""
+    return [
+        (weight, make_exponent_with_weight(weight, width, seed))
+        for weight in PAPER_HAMMING_WEIGHTS
+    ]
+
+
+def random_modulus(width: int = RSA_BITS, seed: RngLike = None) -> int:
+    """A ``width``-bit odd modulus for exercising the datapath.
+
+    The side channel depends only on the exponent's bit pattern, not on
+    the modulus being a proper RSA semiprime, so an odd random modulus
+    with the top bit set is sufficient (and keeps construction fast —
+    generating true 512-bit primes would add nothing to the model).
+    """
+    rng = spawn(seed, "rsa-modulus")
+    limbs = rng.integers(0, 1 << 32, size=max(1, width // 32), dtype=np.uint64)
+    value = 0
+    for limb in limbs:
+        value = (value << 32) | int(limb)
+    value |= 1 << (width - 1)  # full width
+    value |= 1  # odd
+    return value
+
+
+def iter_weight_sweep(
+    weights: Tuple[int, ...] = PAPER_HAMMING_WEIGHTS,
+    width: int = RSA_BITS,
+    seed: RngLike = None,
+) -> Iterator[Tuple[int, int]]:
+    """Yield (weight, exponent) pairs over a Hamming-weight sweep."""
+    for weight in weights:
+        yield weight, make_exponent_with_weight(weight, width, seed)

@@ -1,0 +1,84 @@
+"""FPGA substrate: fabric, power model, PDN, and victim circuits."""
+
+from repro.fpga.aes import AesCircuit, aes128_encrypt_block, expand_key
+from repro.fpga.bitstream import (
+    Bitstream,
+    BitstreamError,
+    FpgaConfigurator,
+    ProgrammingRecord,
+    SealedSecret,
+)
+from repro.fpga.fabric import (
+    RESOURCE_TYPES,
+    CircuitSpec,
+    Fabric,
+    Placement,
+    PlacementError,
+    Region,
+    Shard,
+)
+from repro.fpga.pdn import (
+    VoltageRegulator,
+    inductive_drop,
+    resistive_drop,
+    transient_vdrop,
+    versal_regulator,
+    zynq_us_plus_regulator,
+)
+from repro.fpga.power import (
+    DEFAULT_RESOURCE_PROFILES,
+    FabricPowerModel,
+    ResourcePowerProfile,
+    dynamic_power,
+    static_power,
+)
+from repro.fpga.power_virus import PowerVirusArray
+from repro.fpga.ring_osc import RingOscillator, RoSensorBank
+from repro.fpga.multi_tenant import IsolatedTenantPdn
+from repro.fpga.rsa import RsaCircuit
+from repro.fpga.tdc import TdcSensor
+from repro.fpga.workloads import (
+    WORKLOAD_CLASSES,
+    WorkloadInstance,
+    generate_dataset,
+    generate_workload,
+)
+
+__all__ = [
+    "AesCircuit",
+    "aes128_encrypt_block",
+    "expand_key",
+    "WORKLOAD_CLASSES",
+    "WorkloadInstance",
+    "generate_dataset",
+    "generate_workload",
+    "IsolatedTenantPdn",
+    "Bitstream",
+    "BitstreamError",
+    "FpgaConfigurator",
+    "ProgrammingRecord",
+    "SealedSecret",
+    "TdcSensor",
+    "RESOURCE_TYPES",
+    "CircuitSpec",
+    "Fabric",
+    "Placement",
+    "PlacementError",
+    "Region",
+    "Shard",
+    "VoltageRegulator",
+    "inductive_drop",
+    "resistive_drop",
+    "transient_vdrop",
+    "versal_regulator",
+    "zynq_us_plus_regulator",
+    "DEFAULT_RESOURCE_PROFILES",
+    "FabricPowerModel",
+    "ResourcePowerProfile",
+    "dynamic_power",
+    "static_power",
+    "PowerVirusArray",
+    "RingOscillator",
+    "RoSensorBank",
+    "RsaCircuit",
+]

@@ -1,0 +1,231 @@
+"""Bitstreams and FPGA configuration, including IP encryption semantics.
+
+Two of the paper's victims ship as *encrypted* designs:
+
+* the Xilinx DPU "encrypts its hardware description language (HDL)
+  files at the source code level, following IEEE-1735-2014 V2" — so
+  even the system owner cannot inspect how inference is scheduled;
+* the RSA engine "embeds the key within the encrypted bitstream.  Once
+  the circuit is deployed on an FPGA, the private key remains
+  inaccessible, even to privileged users."
+
+This module models that boundary: a :class:`Bitstream` bundles circuits
+(and optional sealed secrets) and can be encrypted; once encrypted, the
+payload is only reachable through :meth:`FpgaConfigurator.program`,
+which instantiates the circuits onto the fabric without ever exposing
+the sealed data.  The point is architectural honesty, not
+cryptographic strength — the side channel defeats the seal *without*
+breaking it, which is the paper's story.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.fpga.fabric import CircuitSpec, Fabric, Placement
+
+
+class BitstreamError(RuntimeError):
+    """Raised for malformed, tampered or unauthorized bitstream use."""
+
+
+@dataclass(frozen=True)
+class SealedSecret:
+    """A design secret carried inside an encrypted bitstream.
+
+    Only a digest is ever observable; the value itself is reachable
+    solely by the configuration engine (and, in this simulation, by
+    the circuit factory that needs it at programming time).
+    """
+
+    name: str
+    _value: int
+
+    @property
+    def digest(self) -> str:
+        """A commitment to the secret — safe to log or compare."""
+        data = f"{self.name}:{self._value}".encode()
+        return hashlib.sha256(data).hexdigest()[:16]
+
+    def reveal_for_configuration(self) -> int:
+        """Hand the value to the configuration engine.
+
+        Real hardware decrypts inside the configuration logic; the
+        simulator mirrors that by confining calls to
+        :meth:`FpgaConfigurator.program`.
+        """
+        return self._value
+
+    def __repr__(self) -> str:
+        return f"SealedSecret({self.name!r}, digest={self.digest})"
+
+
+@dataclass
+class Bitstream:
+    """A deployable FPGA image: circuits plus optional sealed secrets.
+
+    Attributes:
+        name: image name (shows up in logs and placement records).
+        circuits: the circuit specs instantiated when programmed.
+        secrets: design secrets sealed into the image.
+        encrypted: True once :meth:`encrypt` ran; encrypted images hide
+            their contents from inspection.
+    """
+
+    name: str
+    circuits: List[CircuitSpec] = field(default_factory=list)
+    secrets: Dict[str, SealedSecret] = field(default_factory=dict)
+    encrypted: bool = False
+    #: IEEE-1735 version tag used by the encrypting toolchain.
+    encryption_standard: str = "IEEE-1735-2014-V2"
+
+    def add_circuit(self, circuit: CircuitSpec) -> "Bitstream":
+        """Add a circuit (rejected after encryption)."""
+        self._require_plaintext("add circuits to")
+        self.circuits.append(circuit)
+        return self
+
+    def seal_secret(self, name: str, value: int) -> "Bitstream":
+        """Seal a design secret (e.g. an RSA exponent) into the image."""
+        self._require_plaintext("seal secrets into")
+        if name in self.secrets:
+            raise BitstreamError(f"secret {name!r} already sealed")
+        self.secrets[name] = SealedSecret(name, value)
+        return self
+
+    def encrypt(self) -> "Bitstream":
+        """Encrypt the image: contents become uninspectable."""
+        if self.encrypted:
+            raise BitstreamError(f"bitstream {self.name!r} already encrypted")
+        if not self.circuits:
+            raise BitstreamError("refusing to encrypt an empty bitstream")
+        self.encrypted = True
+        return self
+
+    def manifest(self) -> Dict:
+        """What an observer can learn by inspecting the image file.
+
+        For plaintext images: full circuit inventory.  For encrypted
+        ones: only the name, standard, and secret digests — exactly the
+        opacity the DPU/RSA victims present to the attacker.
+        """
+        if not self.encrypted:
+            return {
+                "name": self.name,
+                "encrypted": False,
+                "circuits": [
+                    {
+                        "name": circuit.name,
+                        "utilization": dict(circuit.utilization),
+                    }
+                    for circuit in self.circuits
+                ],
+                "secrets": sorted(self.secrets),
+            }
+        return {
+            "name": self.name,
+            "encrypted": True,
+            "standard": self.encryption_standard,
+            "secret_digests": {
+                name: secret.digest for name, secret in self.secrets.items()
+            },
+        }
+
+    def manifest_json(self) -> str:
+        """The manifest as stable JSON (for tooling/tests)."""
+        return json.dumps(self.manifest(), sort_keys=True)
+
+    def _require_plaintext(self, action: str) -> None:
+        if self.encrypted:
+            raise BitstreamError(
+                f"cannot {action} an encrypted bitstream ({self.name!r})"
+            )
+
+
+@dataclass(frozen=True)
+class ProgrammingRecord:
+    """Outcome of one configuration: what landed where."""
+
+    bitstream: str
+    encrypted: bool
+    placements: Tuple[Placement, ...]
+
+
+class FpgaConfigurator:
+    """Programs bitstreams onto a fabric (the configuration engine).
+
+    The configurator is the *only* component allowed to open sealed
+    secrets, and it never returns them — it passes them to circuit
+    factories and discards them, like the on-chip decryptor does.
+    """
+
+    def __init__(self, fabric: Fabric):
+        if not isinstance(fabric, Fabric):
+            raise TypeError("fabric must be a repro.fpga.Fabric")
+        self.fabric = fabric
+        self._programmed: Dict[str, ProgrammingRecord] = {}
+
+    def program(self, bitstream: Bitstream) -> ProgrammingRecord:
+        """Instantiate every circuit of ``bitstream`` onto the fabric."""
+        if bitstream.name in self._programmed:
+            raise BitstreamError(
+                f"bitstream {bitstream.name!r} is already programmed"
+            )
+        if not bitstream.circuits:
+            raise BitstreamError(
+                f"bitstream {bitstream.name!r} carries no circuits"
+            )
+        placements: List[Placement] = []
+        deployed_names: List[str] = []
+        try:
+            for circuit in bitstream.circuits:
+                placements.append(self.fabric.deploy(circuit))
+                deployed_names.append(circuit.name)
+        except Exception:
+            for name in deployed_names:
+                self.fabric.undeploy(name)
+            raise
+        record = ProgrammingRecord(
+            bitstream=bitstream.name,
+            encrypted=bitstream.encrypted,
+            placements=tuple(placements),
+        )
+        self._programmed[bitstream.name] = record
+        return record
+
+    def unprogram(self, name: str) -> None:
+        """Remove a previously programmed bitstream's circuits."""
+        record = self._programmed.pop(name, None)
+        if record is None:
+            raise BitstreamError(f"bitstream {name!r} is not programmed")
+        for placement in record.placements:
+            self.fabric.undeploy(placement.circuit.name)
+
+    def programmed(self) -> List[ProgrammingRecord]:
+        """Programming records, in order."""
+        return list(self._programmed.values())
+
+    def readback(self, name: str) -> Dict:
+        """Attempt configuration readback.
+
+        Encrypted images refuse readback — the mechanism that protects
+        the RSA key from even privileged software (and that AmpereBleed
+        sidesteps entirely via the current side channel).
+        """
+        record = self._programmed.get(name)
+        if record is None:
+            raise BitstreamError(f"bitstream {name!r} is not programmed")
+        if record.encrypted:
+            raise BitstreamError(
+                f"readback of encrypted bitstream {name!r} is blocked "
+                f"(IEEE-1735 protected)"
+            )
+        return {
+            "bitstream": record.bitstream,
+            "circuits": [
+                placement.circuit.name for placement in record.placements
+            ],
+        }

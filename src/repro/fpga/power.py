@@ -1,0 +1,141 @@
+"""FPGA dynamic and static power models.
+
+The paper's foundation (Eq. 2) is that dynamic power is the product of
+the supply voltage and the summed currents drawn by the fabric's
+computing elements::
+
+    P_dyn = V_dd * sum I(LE, RAM, DSP, Clocks, ...)
+
+At the element level the standard CMOS model applies: each toggling node
+dissipates ``P = alpha * C_eff * V^2 * f`` where ``alpha`` is the toggle
+(activity) rate, ``C_eff`` the effective switched capacitance, ``V`` the
+core voltage and ``f`` the clock frequency.  This module provides that
+arithmetic plus per-resource effective capacitances calibrated to
+UltraScale+ -class fabric, so circuits can be costed from their resource
+utilization and activity factors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.utils.validation import require_non_negative, require_positive
+
+
+def dynamic_power(
+    alpha: float, c_eff_farads: float, voltage: float, frequency_hz: float
+) -> float:
+    """Dynamic switching power ``alpha * C * V^2 * f`` in watts."""
+    require_non_negative(alpha, "alpha")
+    require_non_negative(c_eff_farads, "c_eff_farads")
+    require_positive(voltage, "voltage")
+    require_non_negative(frequency_hz, "frequency_hz")
+    return alpha * c_eff_farads * voltage * voltage * frequency_hz
+
+
+def static_power(leakage_current: float, voltage: float) -> float:
+    """Static (leakage) power ``I_leak * V`` in watts."""
+    require_non_negative(leakage_current, "leakage_current")
+    require_positive(voltage, "voltage")
+    return leakage_current * voltage
+
+
+@dataclass(frozen=True)
+class ResourcePowerProfile:
+    """Per-element effective capacitance and leakage for one resource type.
+
+    Attributes:
+        c_eff_farads: effective switched capacitance per element per
+            toggle (includes local routing).
+        leakage_amps: per-element leakage current when configured.
+    """
+
+    c_eff_farads: float
+    leakage_amps: float
+
+
+#: Effective per-element parameters for a 16 nm UltraScale+-class fabric.
+#: These are calibrated so that (a) a full-board power virus (~160 k
+#: high-activity LUT/FF pairs at 300 MHz, 0.85 V) draws a few amperes on
+#: VCCINT, matching Fig 2's ~6.4 A dynamic swing, and (b) the static
+#: floor of a fully-deployed-but-idle design is several hundred mA,
+#: matching Fig 2's non-zero current at activation level 0.
+DEFAULT_RESOURCE_PROFILES: Dict[str, ResourcePowerProfile] = {
+    "lut": ResourcePowerProfile(c_eff_farads=9.0e-15, leakage_amps=3.0e-6),
+    "ff": ResourcePowerProfile(c_eff_farads=4.0e-15, leakage_amps=1.0e-6),
+    "dsp": ResourcePowerProfile(c_eff_farads=6.0e-13, leakage_amps=4.0e-5),
+    "bram": ResourcePowerProfile(c_eff_farads=9.0e-13, leakage_amps=8.0e-5),
+    "clock": ResourcePowerProfile(c_eff_farads=2.0e-14, leakage_amps=0.0),
+}
+
+
+class FabricPowerModel:
+    """Costs a circuit's power from resource counts and activity factors.
+
+    Args:
+        voltage: core (VCCINT) voltage in volts.
+        frequency_hz: fabric clock in hertz.
+        profiles: per-resource-type power profiles; defaults to
+            :data:`DEFAULT_RESOURCE_PROFILES`.
+    """
+
+    def __init__(
+        self,
+        voltage: float = 0.85,
+        frequency_hz: float = 300e6,
+        profiles: Mapping[str, ResourcePowerProfile] = None,
+    ):
+        self.voltage = require_positive(voltage, "voltage")
+        self.frequency_hz = require_non_negative(frequency_hz, "frequency_hz")
+        self.profiles: Dict[str, ResourcePowerProfile] = dict(
+            profiles if profiles is not None else DEFAULT_RESOURCE_PROFILES
+        )
+
+    def element_dynamic_power(self, resource: str, alpha: float) -> float:
+        """Dynamic power of a single element of ``resource`` type."""
+        profile = self._profile(resource)
+        return dynamic_power(
+            alpha, profile.c_eff_farads, self.voltage, self.frequency_hz
+        )
+
+    def element_static_power(self, resource: str) -> float:
+        """Leakage power of a single configured element."""
+        profile = self._profile(resource)
+        return static_power(profile.leakage_amps, self.voltage)
+
+    def circuit_dynamic_power(
+        self, utilization: Mapping[str, int], activity: Mapping[str, float]
+    ) -> float:
+        """Total dynamic power of a circuit.
+
+        Args:
+            utilization: resource type -> element count.
+            activity: resource type -> toggle rate alpha (missing types
+                default to 0, i.e. configured but idle).
+        """
+        total = 0.0
+        for resource, count in utilization.items():
+            if count < 0:
+                raise ValueError(f"negative count for {resource!r}: {count}")
+            alpha = float(activity.get(resource, 0.0))
+            total += count * self.element_dynamic_power(resource, alpha)
+        return total
+
+    def circuit_static_power(self, utilization: Mapping[str, int]) -> float:
+        """Total leakage power of a configured circuit."""
+        total = 0.0
+        for resource, count in utilization.items():
+            if count < 0:
+                raise ValueError(f"negative count for {resource!r}: {count}")
+            total += count * self.element_static_power(resource)
+        return total
+
+    def _profile(self, resource: str) -> ResourcePowerProfile:
+        try:
+            return self.profiles[resource]
+        except KeyError:
+            available = ", ".join(sorted(self.profiles))
+            raise KeyError(
+                f"unknown resource type {resource!r}; available: {available}"
+            ) from None

@@ -1,0 +1,56 @@
+"""Classification metrics used by the fingerprinting evaluation."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exact matches (Table III's top-1)."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("y_true and y_pred must have equal shapes")
+    if y_true.size == 0:
+        raise ValueError("cannot score an empty prediction set")
+    return float(np.mean(y_true == y_pred))
+
+
+def top_k_accuracy(
+    y_true: np.ndarray, topk_predictions: np.ndarray, k: Optional[int] = None
+) -> float:
+    """Fraction of rows whose true label is in the top-k prediction list.
+
+    ``topk_predictions`` has shape (n, k'), best first (the output of
+    :meth:`RandomForestClassifier.predict_topk`); ``k`` optionally
+    restricts to the first k columns.
+    """
+    y_true = np.asarray(y_true)
+    topk_predictions = np.asarray(topk_predictions)
+    if topk_predictions.ndim != 2:
+        raise ValueError("topk_predictions must be 2-D (n, k)")
+    if topk_predictions.shape[0] != y_true.shape[0]:
+        raise ValueError("row counts differ")
+    if k is not None:
+        if not (1 <= k <= topk_predictions.shape[1]):
+            raise ValueError(f"k must be in [1, {topk_predictions.shape[1]}]")
+        topk_predictions = topk_predictions[:, :k]
+    hits = (topk_predictions == y_true[:, np.newaxis]).any(axis=1)
+    return float(np.mean(hits))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, labels: np.ndarray = None
+) -> np.ndarray:
+    """Confusion counts, rows = true class, columns = predicted class."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if labels is None:
+        labels = np.unique(np.concatenate([y_true, y_pred]))
+    index = {value: i for i, value in enumerate(labels)}
+    matrix = np.zeros((len(labels), len(labels)), dtype=np.int64)
+    for true, predicted in zip(y_true, y_pred):
+        matrix[index[true], index[predicted]] += 1
+    return matrix

@@ -1,0 +1,100 @@
+"""k-nearest-neighbors classifier: the simplest fingerprinting baseline.
+
+The paper picks a random forest for its suitability "for handling
+high-dimensional data and identifying feature importance"; the
+classifier-ablation bench contrasts it with kNN (and the linear model
+in :mod:`repro.ml.linear`) to show the channel — not the classifier —
+carries the attack.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.utils.validation import require_int_in_range, require_one_of
+
+
+class KNeighborsClassifier:
+    """Brute-force kNN with majority voting.
+
+    Args:
+        n_neighbors: votes per prediction.
+        metric: ``"euclidean"`` or ``"manhattan"``.
+    """
+
+    def __init__(self, n_neighbors: int = 5, metric: str = "euclidean"):
+        self.n_neighbors = require_int_in_range(
+            n_neighbors, 1, 1_000_000, "n_neighbors"
+        )
+        self.metric = require_one_of(
+            metric, ("euclidean", "manhattan"), "metric"
+        )
+        self._X: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNeighborsClassifier":
+        """Memorize the training set."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must be 1-D with one label per row of X")
+        if X.shape[0] < self.n_neighbors:
+            raise ValueError(
+                f"need at least n_neighbors={self.n_neighbors} samples"
+            )
+        self._X = X
+        self.classes_, self._y = np.unique(y, return_inverse=True)
+        return self
+
+    def _distances(self, X: np.ndarray) -> np.ndarray:
+        if self.metric == "euclidean":
+            # (a-b)^2 = a^2 - 2ab + b^2, vectorized.
+            aa = (X**2).sum(axis=1)[:, np.newaxis]
+            bb = (self._X**2).sum(axis=1)[np.newaxis, :]
+            return np.maximum(aa - 2 * X @ self._X.T + bb, 0.0)
+        return np.abs(
+            X[:, np.newaxis, :] - self._X[np.newaxis, :, :]
+        ).sum(axis=2)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Neighbor-vote fractions per class."""
+        if self._X is None:
+            raise RuntimeError("classifier is not fitted; call fit() first")
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self._X.shape[1]:
+            raise ValueError(
+                f"X must have shape (n, {self._X.shape[1]}), got {X.shape}"
+            )
+        distances = self._distances(X)
+        neighbor_index = np.argpartition(
+            distances, self.n_neighbors - 1, axis=1
+        )[:, : self.n_neighbors]
+        votes = self._y[neighbor_index]
+        proba = np.zeros((X.shape[0], self.classes_.size))
+        for row in range(X.shape[0]):
+            counts = np.bincount(votes[row], minlength=self.classes_.size)
+            proba[row] = counts / self.n_neighbors
+        return proba
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Majority-vote class per row."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def predict_topk(self, X: np.ndarray, k: int) -> np.ndarray:
+        """The k best-voted classes per row, best first."""
+        k = require_int_in_range(k, 1, self.classes_.size, "k")
+        proba = self.predict_proba(X)
+        order = np.argsort(-proba, axis=1, kind="stable")[:, :k]
+        return self.classes_[order]
+
+    def __repr__(self) -> str:
+        return (
+            f"KNeighborsClassifier(n_neighbors={self.n_neighbors}, "
+            f"metric={self.metric!r})"
+        )

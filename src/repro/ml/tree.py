@@ -1,0 +1,304 @@
+"""CART decision tree with Gini impurity, implemented on numpy.
+
+The paper's fingerprinting classifier is a random forest "with 100
+trees and ... maximum depth ... 32", using "Gini impurity as the
+splitting criterion" (§IV-B).  scikit-learn is not available offline,
+so the tree (and the forest in :mod:`repro.ml.forest`) is implemented
+from scratch: exact greedy CART with threshold splits, per-node random
+feature subsampling, and vectorized split search via class-count
+prefix sums over sorted feature columns.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_int_in_range
+
+
+def gini_impurity(counts: np.ndarray) -> np.ndarray:
+    """Gini impurity of class-count vectors (last axis = classes)."""
+    counts = np.asarray(counts, dtype=np.float64)
+    totals = counts.sum(axis=-1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        proportions = np.where(totals > 0, counts / totals, 0.0)
+    return 1.0 - (proportions**2).sum(axis=-1)
+
+
+def _resolve_max_features(max_features, n_features: int) -> int:
+    if max_features is None or max_features == "all":
+        return n_features
+    if max_features == "sqrt":
+        return max(1, int(np.sqrt(n_features)))
+    if max_features == "log2":
+        return max(1, int(np.log2(n_features)))
+    if isinstance(max_features, (int, np.integer)):
+        return require_int_in_range(
+            int(max_features), 1, n_features, "max_features"
+        )
+    if isinstance(max_features, float):
+        if not (0.0 < max_features <= 1.0):
+            raise ValueError("fractional max_features must be in (0, 1]")
+        return max(1, int(max_features * n_features))
+    raise ValueError(f"unsupported max_features: {max_features!r}")
+
+
+class DecisionTreeClassifier:
+    """A greedy CART classifier.
+
+    Args:
+        max_depth: maximum tree depth (root = depth 0).
+        min_samples_split: smallest node that may be split further.
+        min_samples_leaf: smallest allowed child node.
+        max_features: features examined per split — ``"sqrt"`` (the
+            random-forest default), ``"log2"``, ``"all"``/``None``, an
+            integer count, or a fraction.
+        seed: RNG for the per-node feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int = 32,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Union[str, int, float, None] = None,
+        seed: RngLike = None,
+    ):
+        self.max_depth = require_int_in_range(max_depth, 1, 10_000, "max_depth")
+        self.min_samples_split = require_int_in_range(
+            min_samples_split, 2, 1 << 31, "min_samples_split"
+        )
+        self.min_samples_leaf = require_int_in_range(
+            min_samples_leaf, 1, 1 << 31, "min_samples_leaf"
+        )
+        self.max_features = max_features
+        self._rng = ensure_rng(seed)
+        # Flat node arrays, filled during fit().
+        self._children_left: List[int] = []
+        self._children_right: List[int] = []
+        self._split_feature: List[int] = []
+        self._split_threshold: List[float] = []
+        self._node_proba: List[np.ndarray] = []
+        self.classes_: Optional[np.ndarray] = None
+        self.n_features_: Optional[int] = None
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    # ----------------------------------------------------------- fit
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "DecisionTreeClassifier":
+        """Grow the tree on data ``X`` (n, d) and labels ``y`` (n,)."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must be 1-D with one label per row of X")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        self.classes_, encoded = np.unique(y, return_inverse=True)
+        self.n_features_ = X.shape[1]
+        n_classes = self.classes_.size
+        self._children_left = []
+        self._children_right = []
+        self._split_feature = []
+        self._split_threshold = []
+        self._node_proba = []
+        importances = np.zeros(self.n_features_)
+
+        n_subset = _resolve_max_features(self.max_features, self.n_features_)
+
+        def new_node(counts: np.ndarray) -> int:
+            index = len(self._children_left)
+            self._children_left.append(-1)
+            self._children_right.append(-1)
+            self._split_feature.append(-1)
+            self._split_threshold.append(np.nan)
+            self._node_proba.append(counts / counts.sum())
+            return index
+
+        # Iterative depth-first growth (avoids recursion limits at
+        # depth 32 x wide trees).
+        stack: List[Tuple[np.ndarray, int, int]] = []
+        root_counts = np.bincount(encoded, minlength=n_classes).astype(float)
+        root = new_node(root_counts)
+        stack.append((np.arange(X.shape[0]), root, 0))
+
+        while stack:
+            indices, node, depth = stack.pop()
+            counts = self._node_proba[node] * indices.size
+            if (
+                depth >= self.max_depth
+                or indices.size < self.min_samples_split
+                or np.count_nonzero(counts) <= 1
+            ):
+                continue
+            split = self._best_split(
+                X, encoded, indices, n_classes, n_subset
+            )
+            if split is None:
+                continue
+            feature, threshold, gain, left_idx, right_idx = split
+            self._split_feature[node] = feature
+            self._split_threshold[node] = threshold
+            importances[feature] += gain * indices.size
+            left_counts = np.bincount(
+                encoded[left_idx], minlength=n_classes
+            ).astype(float)
+            right_counts = np.bincount(
+                encoded[right_idx], minlength=n_classes
+            ).astype(float)
+            left = new_node(left_counts)
+            right = new_node(right_counts)
+            self._children_left[node] = left
+            self._children_right[node] = right
+            stack.append((left_idx, left, depth + 1))
+            stack.append((right_idx, right, depth + 1))
+
+        total = importances.sum()
+        self.feature_importances_ = (
+            importances / total if total > 0 else importances
+        )
+        return self
+
+    def _best_split(
+        self,
+        X: np.ndarray,
+        encoded: np.ndarray,
+        indices: np.ndarray,
+        n_classes: int,
+        n_subset: int,
+    ):
+        """Exact best Gini split over a random feature subset.
+
+        Returns ``(feature, threshold, impurity_decrease, left, right)``
+        or ``None`` if no valid split exists.
+        """
+        n = indices.size
+        labels = encoded[indices]
+        # Work only with the classes present in this node: deep nodes
+        # hold few classes, which shrinks the prefix-sum matrices.
+        present, labels = np.unique(labels, return_inverse=True)
+        n_present = present.size
+        parent_counts = np.bincount(labels, minlength=n_present).astype(float)
+        parent_gini = gini_impurity(parent_counts)
+
+        features = self._rng.choice(
+            self.n_features_, size=n_subset, replace=False
+        )
+        best = None
+        best_gain = 1e-12
+        row_index = np.arange(n)
+        for feature in features:
+            column = X[indices, feature]
+            order = np.argsort(column, kind="stable")
+            sorted_values = column[order]
+            sorted_labels = labels[order]
+            # Candidate split positions: between distinct values only.
+            distinct = sorted_values[1:] != sorted_values[:-1]
+            if not distinct.any():
+                continue
+            one_hot = np.zeros((n, n_present))
+            one_hot[row_index, sorted_labels] = 1.0
+            left_counts = np.cumsum(one_hot, axis=0)[:-1]
+            right_counts = parent_counts[np.newaxis, :] - left_counts
+            left_sizes = np.arange(1, n)
+            right_sizes = n - left_sizes
+            valid = (
+                distinct
+                & (left_sizes >= self.min_samples_leaf)
+                & (right_sizes >= self.min_samples_leaf)
+            )
+            if not valid.any():
+                continue
+            weighted = (
+                left_sizes * gini_impurity(left_counts)
+                + right_sizes * gini_impurity(right_counts)
+            ) / n
+            weighted = np.where(valid, weighted, np.inf)
+            position = int(np.argmin(weighted))
+            gain = parent_gini - weighted[position]
+            if gain > best_gain:
+                threshold = 0.5 * (
+                    sorted_values[position] + sorted_values[position + 1]
+                )
+                # Guard against float rounding: the midpoint of two very
+                # close values can collapse onto the upper one, which
+                # would leave the right child empty.  Splitting at the
+                # lower value keeps both sides non-empty.
+                if threshold >= sorted_values[position + 1]:
+                    threshold = sorted_values[position]
+                best_gain = gain
+                best = (int(feature), float(threshold), float(gain), position)
+        if best is None:
+            return None
+        feature, threshold, gain, _ = best
+        mask = X[indices, feature] <= threshold
+        if not mask.any() or mask.all():
+            return None
+        return feature, threshold, gain, indices[mask], indices[~mask]
+
+    # ------------------------------------------------------- predict
+
+    def _check_fitted(self):
+        if self.classes_ is None:
+            raise RuntimeError("tree is not fitted; call fit() first")
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Leaf index each row lands in."""
+        self._check_fitted()
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features_:
+            raise ValueError(
+                f"X must have shape (n, {self.n_features_}), got {X.shape}"
+            )
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        left = np.asarray(self._children_left)
+        right = np.asarray(self._children_right)
+        feature = np.asarray(self._split_feature)
+        threshold = np.asarray(self._split_threshold)
+        active = left[nodes] >= 0
+        while active.any():
+            rows = np.nonzero(active)[0]
+            current = nodes[rows]
+            goes_left = (
+                X[rows, feature[current]] <= threshold[current]
+            )
+            nodes[rows] = np.where(
+                goes_left, left[current], right[current]
+            )
+            active = left[nodes] >= 0
+        return nodes
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Class-probability estimates, columns ordered as classes_."""
+        leaves = self.apply(X)
+        proba = np.stack(self._node_proba)
+        return proba[leaves]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    @property
+    def node_count(self) -> int:
+        """Total nodes in the grown tree."""
+        return len(self._children_left)
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+        self._check_fitted()
+        depths = {0: 0}
+        maximum = 0
+        for node in range(self.node_count):
+            left = self._children_left[node]
+            right = self._children_right[node]
+            for child in (left, right):
+                if child >= 0:
+                    depths[child] = depths[node] + 1
+                    maximum = max(maximum, depths[child])
+        return maximum

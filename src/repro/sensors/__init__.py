@@ -1,0 +1,55 @@
+"""Sensor substrate: register-level INA226 and the hwmon sysfs tree."""
+
+from repro.sensors.hwmon import (
+    MAX_UPDATE_INTERVAL_MS,
+    MIN_UPDATE_INTERVAL_MS,
+    HwmonDevice,
+    HwmonError,
+    HwmonLookupError,
+    HwmonPermissionError,
+    HwmonTree,
+)
+from repro.sensors.pmbus import (
+    DIE_ID,
+    MANUFACTURER_ID,
+    I2cBus,
+    I2cError,
+    Ina226RegisterFile,
+    decode_configuration,
+    encode_configuration,
+)
+from repro.sensors.ina226 import (
+    AVERAGING_COUNTS,
+    BUS_LSB_VOLTS,
+    CONVERSION_TIMES,
+    POWER_LSB_RATIO,
+    SHUNT_LSB_VOLTS,
+    Ina226,
+    Ina226Config,
+    Ina226Reading,
+)
+
+__all__ = [
+    "DIE_ID",
+    "MANUFACTURER_ID",
+    "I2cBus",
+    "I2cError",
+    "Ina226RegisterFile",
+    "decode_configuration",
+    "encode_configuration",
+    "MAX_UPDATE_INTERVAL_MS",
+    "MIN_UPDATE_INTERVAL_MS",
+    "HwmonDevice",
+    "HwmonError",
+    "HwmonLookupError",
+    "HwmonPermissionError",
+    "HwmonTree",
+    "AVERAGING_COUNTS",
+    "BUS_LSB_VOLTS",
+    "CONVERSION_TIMES",
+    "POWER_LSB_RATIO",
+    "SHUNT_LSB_VOLTS",
+    "Ina226",
+    "Ina226Config",
+    "Ina226Reading",
+]

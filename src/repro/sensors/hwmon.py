@@ -1,0 +1,326 @@
+"""Simulated Linux hwmon sysfs tree over INA226 devices.
+
+The attack's entire privilege story lives here: the kernel's ina226
+driver exposes each sensor as ``/sys/class/hwmon/hwmonN`` with
+world-readable attribute files —
+
+* ``curr1_input``  — current in integer milliamps (1 mA steps),
+* ``in0_input``    — shunt voltage in integer millivolts,
+* ``in1_input``    — bus voltage in integer millivolts (1.25 mV LSB),
+* ``power1_input`` — power in integer microwatts (25 mW steps here),
+* ``update_interval`` — milliseconds between register refreshes;
+  *readable* by anyone, *writable only by root* (the paper's attacker
+  therefore lives with the 35 ms default).
+
+Reads are served from the most recently latched conversion: polling
+faster than the update interval returns runs of identical values.
+Every conversion's noise is a pure function of its latch index
+(counter-based hashing), so re-reading any historical instant gives
+the same bytes the kernel would have served — across calls and runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.sensors.ina226 import BUS_LSB_VOLTS, Ina226, Ina226Config, Ina226Reading
+from repro.soc.rails import PowerRail
+from repro.utils.hashrand import hashed_normal, hashed_uniform
+from repro.utils.rng import derive_seed
+
+#: Noise stream tags (see utils.hashrand): one per physical source.
+_STREAM_PHASE = 0
+_STREAM_SHUNT = 1
+_STREAM_BUS = 2
+_STREAM_POWER = 3
+_STREAM_RIPPLE = 4
+
+#: The update-interval range the paper reports for these boards (ms).
+MIN_UPDATE_INTERVAL_MS = 2
+MAX_UPDATE_INTERVAL_MS = 35
+
+
+class HwmonError(RuntimeError):
+    """Base class for hwmon access failures."""
+
+
+class HwmonPermissionError(HwmonError):
+    """Raised when an unprivileged access hits a root-only attribute."""
+
+
+class HwmonLookupError(HwmonError):
+    """Raised for unknown devices or attributes (ENOENT)."""
+
+
+class HwmonDevice:
+    """One ``hwmonN`` directory backed by an INA226 on a power rail.
+
+    Args:
+        index: the N in ``hwmonN``.
+        name: the device name file contents (e.g. ``"ina226_u79"``).
+        sensor: the INA226 model instance.
+        rail: the power rail the shunt sits on.
+        seed: experiment seed; combined with ``name`` to key the
+            device's noise streams and conversion phase.
+    """
+
+    READABLE_ATTRS = (
+        "name",
+        "curr1_input",
+        "in0_input",
+        "in1_input",
+        "power1_input",
+        "update_interval",
+    )
+
+    def __init__(
+        self,
+        index: int,
+        name: str,
+        sensor: Ina226,
+        rail: PowerRail,
+        seed: Optional[int] = 0,
+    ):
+        self.index = int(index)
+        self.name = str(name)
+        self.sensor = sensor
+        self.rail = rail
+        self._key = derive_seed(seed, f"hwmon:{name}")
+        # Devices power up unsynchronized: a random fraction of one
+        # update period offsets this device's conversion grid.
+        self._phase_fraction = float(
+            hashed_uniform(self._key, np.array([0]), stream=_STREAM_PHASE)[0]
+        )
+        # Failure injection (tests/robustness): None, or
+        # ("stale", t_hang) — conversions stop at t_hang (I2C hang);
+        # ("unbind", t_gone) — reads fail after t_gone (driver unbind).
+        self._failure: Optional[Tuple[str, float]] = None
+
+    @property
+    def path(self) -> str:
+        """The sysfs directory of this device."""
+        return f"/sys/class/hwmon/hwmon{self.index}"
+
+    @property
+    def update_period(self) -> float:
+        """Seconds between register refreshes."""
+        return self.sensor.update_period
+
+    @property
+    def phase(self) -> float:
+        """Offset of this device's conversion grid within one period."""
+        return self._phase_fraction * self.update_period
+
+    def inject_failure(self, mode: str, at_time: float) -> None:
+        """Arm a failure mode for robustness testing.
+
+        ``"stale"`` models an I2C hang: the device keeps serving the
+        conversion latched before ``at_time`` forever.  ``"unbind"``
+        models a driver unbind/hot-remove: reads at or after
+        ``at_time`` raise :class:`HwmonLookupError` (ENOENT), as a
+        poll loop holding a stale fd would observe.
+        """
+        if mode not in ("stale", "unbind"):
+            raise ValueError(f"unknown failure mode {mode!r}")
+        self._failure = (mode, float(at_time))
+
+    def clear_failure(self) -> None:
+        """Disarm any injected failure."""
+        self._failure = None
+
+    def latch_index(self, times: np.ndarray) -> np.ndarray:
+        """Index of the conversion whose result is visible at each time."""
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        if self._failure is not None and self._failure[0] == "stale":
+            times = np.minimum(times, self._failure[1])
+        return np.floor((times - self.phase) / self.update_period).astype(
+            np.int64
+        )
+
+    def _convert_latches(self, latches: np.ndarray) -> Ina226Reading:
+        """Run conversions for an array of latch indices (may repeat)."""
+        period = self.update_period
+        t_done = self.phase + latches * period
+        t_start = t_done - period
+        counters = latches.astype(np.uint64)
+        power_noise = (
+            hashed_normal(self._key, counters, stream=_STREAM_POWER)
+            * self.rail.noise_power_sigma
+        )
+        ripple = (
+            hashed_normal(self._key, counters, stream=_STREAM_RIPPLE)
+            * self.rail.ripple_sigma
+        )
+        current, voltage = self.rail.window_state(
+            t_start, t_done, power_noise=power_noise, ripple=ripple
+        )
+        shunt_noise = hashed_normal(self._key, counters, stream=_STREAM_SHUNT)
+        bus_noise = hashed_normal(self._key, counters, stream=_STREAM_BUS)
+        return self.sensor.convert(
+            current, voltage, shunt_noise=shunt_noise, bus_noise=bus_noise
+        )
+
+    def readings_at(self, times: np.ndarray) -> Ina226Reading:
+        """The latched conversion visible at each poll time (vectorized).
+
+        Duplicate latches are converted once and broadcast back, both
+        for speed and because the kernel would serve the same cached
+        register to every poll within one period.
+        """
+        latches = self.latch_index(times)
+        unique, inverse = np.unique(latches, return_inverse=True)
+        reading = self._convert_latches(unique)
+        return Ina226Reading(
+            shunt_register=reading.shunt_register[inverse],
+            bus_register=reading.bus_register[inverse],
+            current_register=reading.current_register[inverse],
+            power_register=reading.power_register[inverse],
+            current_amps=reading.current_amps[inverse],
+            bus_volts=reading.bus_volts[inverse],
+            power_watts=reading.power_watts[inverse],
+        )
+
+    def read_series(self, attribute: str, times: np.ndarray) -> np.ndarray:
+        """Integer attribute values at each poll time (the sysfs ABI).
+
+        ``curr1_input`` in mA, ``in0_input``/``in1_input`` in mV,
+        ``power1_input`` in uW, ``update_interval`` in ms.
+        """
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        if self._failure is not None and self._failure[0] == "unbind":
+            if np.any(times >= self._failure[1]):
+                raise HwmonLookupError(
+                    f"{self.path}/{attribute}: no such device "
+                    f"(driver unbound)"
+                )
+        if attribute == "update_interval":
+            return np.full(
+                times.shape, round(self.update_period * 1e3), dtype=np.int64
+            )
+        if attribute not in self.READABLE_ATTRS or attribute == "name":
+            raise HwmonLookupError(
+                f"{self.path}/{attribute}: not a readable numeric attribute"
+            )
+        reading = self.readings_at(times)
+        if attribute == "curr1_input":
+            return np.rint(reading.current_amps * 1e3).astype(np.int64)
+        if attribute == "in0_input":
+            shunt_volts = reading.shunt_register * 2.5e-6
+            return np.rint(shunt_volts * 1e3).astype(np.int64)
+        if attribute == "in1_input":
+            return np.rint(reading.bus_volts * 1e3).astype(np.int64)
+        if attribute == "power1_input":
+            return np.rint(reading.power_watts * 1e6).astype(np.int64)
+        raise HwmonLookupError(f"{self.path}/{attribute}: unknown attribute")
+
+    def read(self, attribute: str, time: float = 0.0) -> str:
+        """Read one attribute file, returning its string contents."""
+        if attribute == "name":
+            return self.name
+        value = self.read_series(attribute, np.array([time]))[0]
+        return str(int(value))
+
+    def write(self, attribute: str, value: str, privileged: bool = False) -> None:
+        """Write an attribute file.
+
+        Only ``update_interval`` is writable, and only by root — the
+        unprivileged AmpereBleed attacker cannot speed the sensor up.
+        """
+        if attribute != "update_interval":
+            raise HwmonLookupError(
+                f"{self.path}/{attribute}: not a writable attribute"
+            )
+        if not privileged:
+            raise HwmonPermissionError(
+                f"{self.path}/update_interval: permission denied "
+                f"(root required)"
+            )
+        interval_ms = int(value)
+        if not (
+            MIN_UPDATE_INTERVAL_MS <= interval_ms <= MAX_UPDATE_INTERVAL_MS
+        ):
+            raise ValueError(
+                f"update_interval must be in "
+                f"[{MIN_UPDATE_INTERVAL_MS}, {MAX_UPDATE_INTERVAL_MS}] ms"
+            )
+        self.sensor.config = Ina226Config.for_update_period(interval_ms / 1e3)
+
+    def __repr__(self) -> str:
+        return f"HwmonDevice({self.path}, {self.name}, rail={self.rail.name})"
+
+
+class HwmonTree:
+    """The ``/sys/class/hwmon`` directory of one simulated system."""
+
+    def __init__(self):
+        self._devices: List[HwmonDevice] = []
+        self._by_name: Dict[str, HwmonDevice] = {}
+
+    def register(self, device: HwmonDevice) -> None:
+        """Add a device; its index must match its registration order."""
+        if device.index != len(self._devices):
+            raise ValueError(
+                f"device index {device.index} out of order; expected "
+                f"{len(self._devices)}"
+            )
+        if device.name in self._by_name:
+            raise ValueError(f"duplicate device name {device.name!r}")
+        self._devices.append(device)
+        self._by_name[device.name] = device
+
+    def devices(self) -> List[HwmonDevice]:
+        """All registered devices in hwmonN order."""
+        return list(self._devices)
+
+    def device(self, index: int) -> HwmonDevice:
+        """Look up by hwmon index."""
+        if not (0 <= index < len(self._devices)):
+            raise HwmonLookupError(f"/sys/class/hwmon/hwmon{index}: no such device")
+        return self._devices[index]
+
+    def device_by_name(self, name: str) -> HwmonDevice:
+        """Look up by device name (e.g. ``"ina226_u79"``)."""
+        try:
+            return self._by_name[name]
+        except KeyError:
+            available = ", ".join(sorted(self._by_name))
+            raise HwmonLookupError(
+                f"no hwmon device named {name!r}; available: {available}"
+            ) from None
+
+    def list_paths(self) -> List[str]:
+        """All attribute file paths (what ``ls`` would enumerate)."""
+        paths = []
+        for device in self._devices:
+            for attribute in HwmonDevice.READABLE_ATTRS:
+                paths.append(f"{device.path}/{attribute}")
+        return paths
+
+    def _resolve(self, path: str) -> Tuple[HwmonDevice, str]:
+        prefix = "/sys/class/hwmon/hwmon"
+        if not path.startswith(prefix):
+            raise HwmonLookupError(f"{path}: not under /sys/class/hwmon")
+        remainder = path[len(prefix):]
+        try:
+            index_text, attribute = remainder.split("/", 1)
+            index = int(index_text)
+        except ValueError:
+            raise HwmonLookupError(f"{path}: malformed hwmon path") from None
+        return self.device(index), attribute
+
+    def read(self, path: str, time: float = 0.0) -> str:
+        """Read a full sysfs path at a simulation time (unprivileged)."""
+        device, attribute = self._resolve(path)
+        return device.read(attribute, time)
+
+    def read_series(self, path: str, times: np.ndarray) -> np.ndarray:
+        """Vectorized poll of a full sysfs path at many times."""
+        device, attribute = self._resolve(path)
+        return device.read_series(attribute, times)
+
+    def write(self, path: str, value: str, privileged: bool = False) -> None:
+        """Write a full sysfs path (root-only attributes enforce it)."""
+        device, attribute = self._resolve(path)
+        device.write(attribute, value, privileged=privileged)

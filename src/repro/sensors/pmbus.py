@@ -1,0 +1,197 @@
+"""I2C register transport beneath hwmon: the INA226's wire interface.
+
+The kernel's ina226 driver does not read currents; it reads 16-bit
+registers over I2C and converts them.  This module models that layer:
+
+* :class:`Ina226RegisterFile` — the device's register map (datasheet
+  section 7.6): configuration, shunt/bus/current/power results,
+  calibration, mask/enable, and the fixed manufacturer/die IDs;
+* :class:`I2cBus` — a multi-drop bus with 7-bit addressing, matching
+  the ZCU102's PMBus chain where the INA226s sit at 0x40-0x4B.
+
+The hwmon layer in :mod:`repro.sensors.hwmon` remains the attack
+surface; this transport exists so driver-level behaviours (calibration
+writes, configuration decoding, ID probing) are faithful and testable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.sensors.ina226 import (
+    AVERAGING_COUNTS,
+    CONVERSION_TIMES,
+    Ina226,
+    Ina226Config,
+)
+
+#: Register addresses (datasheet table 7-6).
+REG_CONFIGURATION = 0x00
+REG_SHUNT_VOLTAGE = 0x01
+REG_BUS_VOLTAGE = 0x02
+REG_POWER = 0x03
+REG_CURRENT = 0x04
+REG_CALIBRATION = 0x05
+REG_MASK_ENABLE = 0x06
+REG_ALERT_LIMIT = 0x07
+REG_MANUFACTURER_ID = 0xFE
+REG_DIE_ID = 0xFF
+
+#: Fixed ID values (datasheet): "TI" and the INA226 die code.
+MANUFACTURER_ID = 0x5449
+DIE_ID = 0x2260
+
+#: Configuration-register reset value (datasheet 7.6.1).
+CONFIG_RESET = 0x4127
+
+#: Field encodings for the configuration register.
+_AVG_BITS = {count: index for index, count in enumerate(AVERAGING_COUNTS)}
+_CT_BITS = {time: index for index, time in enumerate(CONVERSION_TIMES)}
+
+
+def encode_configuration(config: Ina226Config) -> int:
+    """Pack an :class:`Ina226Config` into the configuration register."""
+    avg = _AVG_BITS[config.averages]
+    vbusct = _CT_BITS[config.bus_conversion_time]
+    vshct = _CT_BITS[config.shunt_conversion_time]
+    mode = 0b111  # shunt and bus, continuous
+    return (0b0100 << 12) | (avg << 9) | (vbusct << 6) | (vshct << 3) | mode
+
+
+def decode_configuration(value: int) -> Ina226Config:
+    """Unpack a configuration-register value."""
+    avg = (value >> 9) & 0b111
+    vbusct = (value >> 6) & 0b111
+    vshct = (value >> 3) & 0b111
+    return Ina226Config(
+        shunt_conversion_time=CONVERSION_TIMES[vshct],
+        bus_conversion_time=CONVERSION_TIMES[vbusct],
+        averages=AVERAGING_COUNTS[avg],
+    )
+
+
+class I2cError(RuntimeError):
+    """Raised for addressing or register-access failures (NACK)."""
+
+
+class Ina226RegisterFile:
+    """The register map of one INA226, backed by the sensor model.
+
+    Result registers are served from the conversion visible at the
+    access time (the caller supplies it, like the bus master's clock);
+    configuration and calibration writes reconfigure the model, exactly
+    as the kernel driver's probe/again paths do.
+    """
+
+    READ_ONLY = {
+        REG_SHUNT_VOLTAGE,
+        REG_BUS_VOLTAGE,
+        REG_POWER,
+        REG_CURRENT,
+        REG_MANUFACTURER_ID,
+        REG_DIE_ID,
+    }
+
+    def __init__(self, sensor: Ina226, rail_reader):
+        """``rail_reader(time) -> Ina226Reading`` supplies conversions."""
+        self.sensor = sensor
+        self._rail_reader = rail_reader
+        self._calibration = sensor.calibration
+        self._mask_enable = 0x0000
+        self._alert_limit = 0x0000
+
+    def read(self, register: int, time: float = 0.0) -> int:
+        """Read one 16-bit register (unsigned wire representation)."""
+        if register == REG_CONFIGURATION:
+            return encode_configuration(self.sensor.config)
+        if register == REG_CALIBRATION:
+            return self._calibration
+        if register == REG_MASK_ENABLE:
+            return self._mask_enable
+        if register == REG_ALERT_LIMIT:
+            return self._alert_limit
+        if register == REG_MANUFACTURER_ID:
+            return MANUFACTURER_ID
+        if register == REG_DIE_ID:
+            return DIE_ID
+        if register in (
+            REG_SHUNT_VOLTAGE, REG_BUS_VOLTAGE, REG_POWER, REG_CURRENT
+        ):
+            reading = self._rail_reader(time)
+            if register == REG_SHUNT_VOLTAGE:
+                raw = int(reading.shunt_register[0])
+                return raw & 0xFFFF  # two's complement on the wire
+            if register == REG_BUS_VOLTAGE:
+                return int(reading.bus_register[0]) & 0x7FFF
+            if register == REG_CURRENT:
+                return int(reading.current_register[0]) & 0xFFFF
+            return int(reading.power_register[0]) & 0xFFFF
+        raise I2cError(f"register 0x{register:02X} does not exist")
+
+    def write(self, register: int, value: int) -> None:
+        """Write one 16-bit register."""
+        if not (0 <= value <= 0xFFFF):
+            raise I2cError(f"value 0x{value:X} exceeds 16 bits")
+        if register in self.READ_ONLY:
+            raise I2cError(f"register 0x{register:02X} is read-only")
+        if register == REG_CONFIGURATION:
+            if value == 0x8000:  # reset bit
+                self.sensor.config = Ina226Config()
+                return
+            self.sensor.config = decode_configuration(value)
+            return
+        if register == REG_CALIBRATION:
+            self._calibration = value & 0x7FFF
+            self.sensor.calibration = self._calibration
+            return
+        if register == REG_MASK_ENABLE:
+            self._mask_enable = value
+            return
+        if register == REG_ALERT_LIMIT:
+            self._alert_limit = value
+            return
+        raise I2cError(f"register 0x{register:02X} does not exist")
+
+
+class I2cBus:
+    """A 7-bit-addressed bus carrying INA226 register transactions."""
+
+    def __init__(self):
+        self._devices: Dict[int, Ina226RegisterFile] = {}
+
+    def attach(self, address: int, device: Ina226RegisterFile) -> None:
+        """Put a device on the bus at a 7-bit address."""
+        if not (0x08 <= address <= 0x77):
+            raise I2cError(f"address 0x{address:02X} outside 7-bit range")
+        if address in self._devices:
+            raise I2cError(f"address 0x{address:02X} already in use")
+        self._devices[address] = device
+
+    def scan(self) -> list:
+        """Addresses that ACK (what ``i2cdetect`` would print)."""
+        return sorted(self._devices)
+
+    def _device(self, address: int) -> Ina226RegisterFile:
+        try:
+            return self._devices[address]
+        except KeyError:
+            raise I2cError(f"no ACK from address 0x{address:02X}") from None
+
+    def read_word(self, address: int, register: int, time: float = 0.0) -> int:
+        """SMBus read-word transaction."""
+        return self._device(address).read(register, time)
+
+    def write_word(self, address: int, register: int, value: int) -> None:
+        """SMBus write-word transaction."""
+        self._device(address).write(register, value)
+
+    def probe_ina226(self, address: int) -> bool:
+        """Driver-style probe: check manufacturer and die IDs."""
+        try:
+            manufacturer = self.read_word(address, REG_MANUFACTURER_ID)
+            die = self.read_word(address, REG_DIE_ID)
+        except I2cError:
+            return False
+        return manufacturer == MANUFACTURER_ID and die == DIE_ID

@@ -1,0 +1,151 @@
+"""DVFS: a cpufreq-governor model for the ARM cluster's rail.
+
+The paper keeps "dynamic voltage and frequency scaling (DVFS) policies
+... by default" — meaning the FPD rail's power depends not only on CPU
+load but on the operating point the governor picks for it.  This module
+models the Zynq UltraScale+ A53 cluster's OPP table and an
+ondemand-style governor, so CPU-side workloads can be rendered as
+rail power at the operating point the kernel would actually choose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.soc.workload import PiecewiseActivity
+from repro.utils.validation import require_in_range, require_positive
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """One DVFS operating performance point (OPP)."""
+
+    frequency_hz: float
+    voltage: float
+
+    def __post_init__(self):
+        require_positive(self.frequency_hz, "frequency_hz")
+        require_positive(self.voltage, "voltage")
+
+
+#: The ZCU102's A53 OPP table (PetaLinux default: 300/600/1200 MHz at a
+#: fixed 0.85 V FPD rail — the PS does frequency-only scaling).
+ZYNQMP_A53_OPPS: Tuple[OperatingPoint, ...] = (
+    OperatingPoint(frequency_hz=300e6, voltage=0.85),
+    OperatingPoint(frequency_hz=600e6, voltage=0.85),
+    OperatingPoint(frequency_hz=1200e6, voltage=0.85),
+)
+
+
+class OndemandGovernor:
+    """The classic ``ondemand`` cpufreq policy.
+
+    Jump straight to the highest OPP when load crosses
+    ``up_threshold``; step down one OPP at a time when load falls below
+    ``down_threshold`` (the kernel's sampling-rate hysteresis).
+    """
+
+    def __init__(
+        self,
+        opps: Sequence[OperatingPoint] = ZYNQMP_A53_OPPS,
+        up_threshold: float = 0.80,
+        down_threshold: float = 0.30,
+    ):
+        if not opps:
+            raise ValueError("need at least one operating point")
+        ordered = sorted(opps, key=lambda opp: opp.frequency_hz)
+        self.opps: Tuple[OperatingPoint, ...] = tuple(ordered)
+        self.up_threshold = require_in_range(
+            up_threshold, 0.0, 1.0, "up_threshold"
+        )
+        self.down_threshold = require_in_range(
+            down_threshold, 0.0, up_threshold, "down_threshold"
+        )
+        self._level = 0
+
+    @property
+    def current(self) -> OperatingPoint:
+        """The OPP currently selected."""
+        return self.opps[self._level]
+
+    def reset(self) -> None:
+        """Return to the lowest OPP (boot state)."""
+        self._level = 0
+
+    def step(self, load: float) -> OperatingPoint:
+        """Advance one governor sampling period with ``load`` in [0, 1]."""
+        load = require_in_range(load, 0.0, 1.0, "load")
+        if load >= self.up_threshold:
+            self._level = len(self.opps) - 1
+        elif load <= self.down_threshold and self._level > 0:
+            self._level -= 1
+        return self.current
+
+    def trace(self, loads: Sequence[float]) -> List[OperatingPoint]:
+        """Run a load series through the governor, one OPP per sample."""
+        return [self.step(load) for load in loads]
+
+
+class CpuClusterModel:
+    """Renders per-period CPU load into FPD-rail power.
+
+    Power at one OPP is ``p_idle + load * k * V^2 * f`` — the cluster's
+    dynamic energy per cycle times utilization, plus its idle draw.
+
+    Args:
+        governor: the DVFS policy choosing operating points.
+        k_dynamic: effective switched capacitance of the busy cluster
+            (C_eff such that 1200 MHz / 0.85 V / full load ~= 1.1 W,
+            matching the serving loop's preprocessing draw).
+        p_idle: cluster idle power in watts (WFI + L2 + SCU).
+    """
+
+    def __init__(
+        self,
+        governor: OndemandGovernor = None,
+        k_dynamic: float = 1.27e-9,
+        p_idle: float = 0.16,
+    ):
+        self.governor = governor if governor is not None else OndemandGovernor()
+        self.k_dynamic = require_positive(k_dynamic, "k_dynamic")
+        self.p_idle = require_positive(p_idle, "p_idle")
+
+    def power_at(self, load: float, opp: OperatingPoint) -> float:
+        """Cluster power for one load level at one operating point."""
+        load = require_in_range(load, 0.0, 1.0, "load")
+        dynamic = (
+            self.k_dynamic * opp.voltage**2 * opp.frequency_hz * load
+        )
+        return self.p_idle + dynamic
+
+    def render(
+        self,
+        loads: Sequence[float],
+        period: float = 0.01,
+        start: float = 0.0,
+    ) -> PiecewiseActivity:
+        """Turn a load series into an FPD-rail power timeline.
+
+        One governor decision per ``period`` (the cpufreq sampling
+        rate); each period draws the power of its load at the OPP the
+        governor picked for it.
+        """
+        require_positive(period, "period")
+        loads = list(loads)
+        if not loads:
+            raise ValueError("need at least one load sample")
+        self.governor.reset()
+        segments = []
+        for load in loads:
+            opp = self.governor.step(load)
+            segments.append((period, self.power_at(load, opp)))
+        return PiecewiseActivity.from_segments(segments, start=start)
+
+    def __repr__(self) -> str:
+        return (
+            f"CpuClusterModel({len(self.governor.opps)} OPPs, "
+            f"idle={self.p_idle} W)"
+        )

@@ -1,0 +1,123 @@
+"""First-order thermal model: die temperature and leakage feedback.
+
+The paper's discussion points at static power ([26], Moradi CHES'14)
+and at thermal effects as adjacent side channels (the authors'
+ThermalScope line).  This module supplies the standard first-order
+package model so experiments can include the slow drift a real board
+shows under sustained load:
+
+* die temperature follows ``T = T_ambient + R_th * P`` at steady state,
+  approaching it exponentially with time constant ``tau``;
+* subthreshold leakage grows roughly exponentially with temperature —
+  linearized here as a per-kelvin multiplier, which is accurate over
+  the tens-of-kelvin excursions an SoC sees.
+
+The model is deliberately *not* wired into the default rails (the
+paper's experiments are minutes-long and dominated by dynamic power);
+the thermal-drift test exercises it standalone.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.soc.workload import ActivityTimeline
+from repro.utils.validation import require_non_negative, require_positive
+
+
+class ThermalModel:
+    """First-order (single RC) package thermal model.
+
+    Args:
+        ambient: ambient/board temperature in Celsius.
+        r_thermal: junction-to-ambient thermal resistance in K/W.
+        tau: thermal time constant in seconds (die+spreader, tens of
+            seconds for a bare-heatsink ZCU102).
+        leakage_tc: fractional leakage increase per kelvin (~1.2 %/K
+            for 16 nm FinFET near 50 C).
+    """
+
+    def __init__(
+        self,
+        ambient: float = 45.0,
+        r_thermal: float = 2.0,
+        tau: float = 30.0,
+        leakage_tc: float = 0.012,
+    ):
+        self.ambient = float(ambient)
+        self.r_thermal = require_non_negative(r_thermal, "r_thermal")
+        self.tau = require_positive(tau, "tau")
+        self.leakage_tc = require_non_negative(leakage_tc, "leakage_tc")
+
+    def steady_state_temperature(self, power: float) -> float:
+        """Die temperature after infinite time at constant ``power``."""
+        require_non_negative(power, "power")
+        return self.ambient + self.r_thermal * power
+
+    def step_response(
+        self, times: np.ndarray, power: float, t_start: float = 0.0
+    ) -> np.ndarray:
+        """Temperature vs time for a power step at ``t_start``.
+
+        Before the step the die sits at ambient; after it, temperature
+        approaches steady state as ``1 - exp(-t/tau)``.
+        """
+        times = np.asarray(times, dtype=np.float64)
+        rise = self.steady_state_temperature(power) - self.ambient
+        elapsed = np.maximum(times - t_start, 0.0)
+        return self.ambient + rise * (1.0 - np.exp(-elapsed / self.tau))
+
+    def temperature_for_timeline(
+        self,
+        timeline: ActivityTimeline,
+        times: np.ndarray,
+        dt: float = None,
+        warmup: float = None,
+    ) -> np.ndarray:
+        """Die temperature at each time under an arbitrary power profile.
+
+        Discretizes the first-order ODE ``tau dT/dt = (T_ss(P) - T)``
+        on a grid of step ``dt`` (default tau/50).  Integration starts
+        ``warmup`` seconds (default 5 tau) before the first requested
+        time, from ambient, so the die's recent history is reflected
+        in the first returned sample.
+        """
+        times = np.atleast_1d(np.asarray(times, dtype=np.float64))
+        if times.size == 0:
+            return times.copy()
+        if np.any(np.diff(times) < 0):
+            raise ValueError("times must be non-decreasing")
+        if dt is None:
+            dt = self.tau / 50.0
+        require_positive(dt, "dt")
+        if warmup is None:
+            warmup = 5.0 * self.tau
+        require_non_negative(warmup, "warmup")
+        t0 = float(times[0]) - warmup
+        t_end = float(times[-1])
+        n_steps = max(1, int(np.ceil((t_end - t0) / dt)))
+        grid = t0 + dt * np.arange(n_steps + 1)
+        power = timeline.window_mean(
+            grid[:-1], np.maximum(grid[1:], grid[:-1] + 1e-12)
+        )
+        temperature = np.empty(grid.size)
+        temperature[0] = self.ambient
+        decay = np.exp(-dt / self.tau)
+        target = self.ambient + self.r_thermal * power
+        for index in range(n_steps):
+            temperature[index + 1] = (
+                target[index]
+                + (temperature[index] - target[index]) * decay
+            )
+        return np.interp(times, grid, temperature)
+
+    def leakage_multiplier(self, temperature: np.ndarray) -> np.ndarray:
+        """Leakage-power scale factor relative to ambient."""
+        temperature = np.asarray(temperature, dtype=np.float64)
+        return 1.0 + self.leakage_tc * (temperature - self.ambient)
+
+    def __repr__(self) -> str:
+        return (
+            f"ThermalModel(ambient={self.ambient} C, "
+            f"Rth={self.r_thermal} K/W, tau={self.tau} s)"
+        )

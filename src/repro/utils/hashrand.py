@@ -1,0 +1,58 @@
+"""Counter-based (hash) random numbers for latch-consistent noise.
+
+The hwmon layer must return the *identical* reading every time an
+attacker polls within one sensor update period — including across
+separate calls into the simulator.  Stateful generators cannot provide
+that, so sensor noise is a pure function of ``(key, counter, stream)``
+computed with a vectorized splitmix64 hash: same conversion, same
+noise, forever.  This is the standard counter-based RNG construction
+(Philox/Threefry family), implemented minimally in numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+
+
+def splitmix64(x: np.ndarray) -> np.ndarray:
+    """Vectorized splitmix64 finalizer over uint64 values."""
+    x = np.asarray(x, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        z = x + _GOLDEN
+        z = (z ^ (z >> np.uint64(30))) * _MIX1
+        z = (z ^ (z >> np.uint64(27))) * _MIX2
+        z = z ^ (z >> np.uint64(31))
+    return z
+
+
+def _mix(key: int, counter: np.ndarray, stream: int) -> np.ndarray:
+    counter = np.asarray(counter, dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        seeded = splitmix64(
+            np.uint64(key & 0xFFFFFFFFFFFFFFFF)
+            + splitmix64(np.uint64(stream))
+        )
+        return splitmix64(counter ^ seeded)
+
+
+def hashed_uniform(key: int, counter: np.ndarray, stream: int = 0) -> np.ndarray:
+    """Uniform floats in [0, 1), a pure function of (key, counter, stream)."""
+    bits = _mix(key, counter, stream)
+    # Use the top 53 bits for a full-precision double in [0, 1).
+    return (bits >> np.uint64(11)).astype(np.float64) * (2.0**-53)
+
+
+def hashed_normal(key: int, counter: np.ndarray, stream: int = 0) -> np.ndarray:
+    """Standard-normal draws, a pure function of (key, counter, stream).
+
+    Box-Muller over two independent hashed uniforms; ``u1`` is nudged
+    away from zero so the log never overflows.
+    """
+    u1 = hashed_uniform(key, counter, stream=2 * stream)
+    u2 = hashed_uniform(key, counter, stream=2 * stream + 1)
+    u1 = np.maximum(u1, 2.0**-53)
+    return np.sqrt(-2.0 * np.log(u1)) * np.cos(2.0 * np.pi * u2)

@@ -1,0 +1,106 @@
+"""SI unit helpers used across the simulation substrate.
+
+All internal quantities are stored in base SI units (amperes, volts,
+watts, seconds, hertz, ohms).  These helpers exist so that call sites can
+express datasheet-style constants (``milli(1.25)`` volts, ``micro(2.5)``
+volts, ``mega(100)`` hertz) without sprinkling bare powers of ten through
+the code, and so that sampled values can be converted back into the
+integer milli-units that the Linux hwmon ABI reports.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Multiplicative SI prefixes (value of one prefixed unit in base units).
+PICO = 1e-12
+NANO = 1e-9
+MICRO = 1e-6
+MILLI = 1e-3
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+
+def pico(value: float) -> float:
+    """Convert a value expressed in pico-units to base units."""
+    return value * PICO
+
+
+def nano(value: float) -> float:
+    """Convert a value expressed in nano-units to base units."""
+    return value * NANO
+
+
+def micro(value: float) -> float:
+    """Convert a value expressed in micro-units to base units."""
+    return value * MICRO
+
+
+def milli(value: float) -> float:
+    """Convert a value expressed in milli-units to base units."""
+    return value * MILLI
+
+
+def kilo(value: float) -> float:
+    """Convert a value expressed in kilo-units to base units."""
+    return value * KILO
+
+
+def mega(value: float) -> float:
+    """Convert a value expressed in mega-units to base units."""
+    return value * MEGA
+
+
+def giga(value: float) -> float:
+    """Convert a value expressed in giga-units to base units."""
+    return value * GIGA
+
+
+def to_milli(value: float) -> float:
+    """Convert a base-unit value to milli-units (e.g. A -> mA)."""
+    return value / MILLI
+
+
+def to_micro(value: float) -> float:
+    """Convert a base-unit value to micro-units (e.g. V -> uV)."""
+    return value / MICRO
+
+
+def amps_to_hwmon(value: float) -> int:
+    """Quantize a current in amperes to the integer milliamps hwmon reports.
+
+    The hwmon ABI exposes ``currN_input`` in integer milliamps; the kernel
+    rounds the register value to the nearest representable integer.
+    """
+    return int(round(value / MILLI))
+
+
+def volts_to_hwmon(value: float) -> int:
+    """Quantize a voltage in volts to the integer millivolts hwmon reports."""
+    return int(round(value / MILLI))
+
+
+def watts_to_hwmon(value: float) -> int:
+    """Quantize a power in watts to the integer microwatts hwmon reports.
+
+    ``powerN_input`` is reported in microwatts by the hwmon ABI.
+    """
+    return int(round(value / MICRO))
+
+
+def clamp(value: float, low: float, high: float) -> float:
+    """Clamp ``value`` into the closed interval [low, high].
+
+    Raises :class:`ValueError` if the interval is empty (``low > high``).
+    """
+    if low > high:
+        raise ValueError(f"empty clamp interval: [{low}, {high}]")
+    return min(max(value, low), high)
+
+
+def db(ratio: float) -> float:
+    """Express a power ratio in decibels."""
+    if ratio <= 0:
+        raise ValueError("dB undefined for non-positive ratios")
+    return 10.0 * math.log10(ratio)

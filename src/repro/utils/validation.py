@@ -1,0 +1,60 @@
+"""Small argument-validation helpers shared across the package."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def require_positive(value: float, name: str) -> float:
+    """Validate that ``value`` is strictly positive and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return float(value)
+
+
+def require_non_negative(value: float, name: str) -> float:
+    """Validate that ``value`` is >= 0 and return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return float(value)
+
+
+def require_in_range(value: float, low: float, high: float, name: str) -> float:
+    """Validate that ``value`` lies in the closed interval [low, high]."""
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return float(value)
+
+
+def require_int_in_range(value: int, low: int, high: int, name: str) -> int:
+    """Validate an integer argument against an inclusive range."""
+    if not isinstance(value, (int, np.integer)):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+    if not (low <= value <= high):
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value!r}")
+    return int(value)
+
+
+def require_one_of(value: str, options: Iterable[str], name: str) -> str:
+    """Validate a string argument against an allowed set."""
+    allowed = set(options)
+    if value not in allowed:
+        raise ValueError(f"{name} must be one of {sorted(allowed)}, got {value!r}")
+    return value
+
+
+def as_1d_float_array(values: Sequence[float], name: str) -> np.ndarray:
+    """Coerce ``values`` to a 1-D float64 array, rejecting other shapes."""
+    array = np.asarray(values, dtype=np.float64)
+    if array.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {array.shape}")
+    return array
+
+
+def require_sorted(values: np.ndarray, name: str) -> np.ndarray:
+    """Validate that a 1-D array is non-decreasing."""
+    if values.size > 1 and np.any(np.diff(values) < 0):
+        raise ValueError(f"{name} must be sorted in non-decreasing order")
+    return values

@@ -1,0 +1,172 @@
+"""Tests for bitstreams, sealed secrets, and the configurator."""
+
+import pytest
+
+from repro.fpga.bitstream import (
+    Bitstream,
+    BitstreamError,
+    FpgaConfigurator,
+    SealedSecret,
+)
+from repro.fpga.fabric import CircuitSpec, Fabric
+
+
+def small_circuit(name="engine", luts=100):
+    return CircuitSpec(name, {"lut": luts, "ff": luts})
+
+
+class TestSealedSecret:
+    def test_digest_is_stable(self):
+        a = SealedSecret("key", 0xDEADBEEF)
+        b = SealedSecret("key", 0xDEADBEEF)
+        assert a.digest == b.digest
+
+    def test_digest_hides_value(self):
+        secret = SealedSecret("key", 12345)
+        assert "12345" not in secret.digest
+        assert "12345" not in repr(secret)
+
+    def test_distinct_values_distinct_digests(self):
+        assert SealedSecret("key", 1).digest != SealedSecret("key", 2).digest
+
+    def test_reveal_for_configuration(self):
+        assert SealedSecret("key", 77).reveal_for_configuration() == 77
+
+
+class TestBitstream:
+    def test_build_and_manifest_plaintext(self):
+        image = Bitstream("design").add_circuit(small_circuit())
+        manifest = image.manifest()
+        assert manifest["encrypted"] is False
+        assert manifest["circuits"][0]["name"] == "engine"
+
+    def test_seal_secret(self):
+        image = Bitstream("design").add_circuit(small_circuit())
+        image.seal_secret("rsa-exponent", 0b1011)
+        assert "rsa-exponent" in image.secrets
+
+    def test_duplicate_secret_rejected(self):
+        image = Bitstream("design").seal_secret("k", 1)
+        with pytest.raises(BitstreamError, match="already sealed"):
+            image.seal_secret("k", 2)
+
+    def test_encrypt_hides_contents(self):
+        image = (
+            Bitstream("dpu")
+            .add_circuit(small_circuit())
+            .seal_secret("key", 42)
+            .encrypt()
+        )
+        manifest = image.manifest()
+        assert manifest["encrypted"] is True
+        assert "circuits" not in manifest
+        assert manifest["standard"] == "IEEE-1735-2014-V2"
+        assert set(manifest["secret_digests"]) == {"key"}
+
+    def test_encrypted_rejects_modification(self):
+        image = Bitstream("dpu").add_circuit(small_circuit()).encrypt()
+        with pytest.raises(BitstreamError):
+            image.add_circuit(small_circuit("b"))
+        with pytest.raises(BitstreamError):
+            image.seal_secret("late", 1)
+
+    def test_double_encrypt_rejected(self):
+        image = Bitstream("dpu").add_circuit(small_circuit()).encrypt()
+        with pytest.raises(BitstreamError, match="already encrypted"):
+            image.encrypt()
+
+    def test_empty_encrypt_rejected(self):
+        with pytest.raises(BitstreamError, match="empty"):
+            Bitstream("empty").encrypt()
+
+    def test_manifest_json_stable(self):
+        image = Bitstream("x").add_circuit(small_circuit())
+        assert image.manifest_json() == image.manifest_json()
+
+
+class TestConfigurator:
+    @pytest.fixture
+    def fabric(self):
+        return Fabric("ZCU102")
+
+    def test_program_deploys_circuits(self, fabric):
+        configurator = FpgaConfigurator(fabric)
+        image = Bitstream("design").add_circuit(small_circuit())
+        record = configurator.program(image)
+        assert record.bitstream == "design"
+        assert fabric.total_used["lut"] == 100
+
+    def test_double_program_rejected(self, fabric):
+        configurator = FpgaConfigurator(fabric)
+        image = Bitstream("design").add_circuit(small_circuit())
+        configurator.program(image)
+        with pytest.raises(BitstreamError, match="already programmed"):
+            configurator.program(image)
+
+    def test_unprogram_frees_fabric(self, fabric):
+        configurator = FpgaConfigurator(fabric)
+        configurator.program(Bitstream("d").add_circuit(small_circuit()))
+        configurator.unprogram("d")
+        assert fabric.total_used["lut"] == 0
+
+    def test_unprogram_unknown_rejected(self, fabric):
+        with pytest.raises(BitstreamError, match="not programmed"):
+            FpgaConfigurator(fabric).unprogram("ghost")
+
+    def test_failed_program_rolls_back(self, fabric):
+        configurator = FpgaConfigurator(fabric)
+        image = (
+            Bitstream("big")
+            .add_circuit(small_circuit("a", luts=1000))
+            .add_circuit(CircuitSpec("huge", {"lut": 10_000_000}))
+        )
+        with pytest.raises(Exception):
+            configurator.program(image)
+        assert fabric.total_used["lut"] == 0
+
+    def test_readback_plaintext_allowed(self, fabric):
+        configurator = FpgaConfigurator(fabric)
+        configurator.program(Bitstream("d").add_circuit(small_circuit()))
+        assert configurator.readback("d")["circuits"] == ["engine"]
+
+    def test_readback_encrypted_blocked(self, fabric):
+        configurator = FpgaConfigurator(fabric)
+        image = (
+            Bitstream("dpu")
+            .add_circuit(small_circuit())
+            .seal_secret("key", 99)
+            .encrypt()
+        )
+        configurator.program(image)
+        with pytest.raises(BitstreamError, match="IEEE-1735"):
+            configurator.readback("dpu")
+
+    def test_empty_bitstream_rejected(self, fabric):
+        with pytest.raises(BitstreamError, match="no circuits"):
+            FpgaConfigurator(fabric).program(Bitstream("none"))
+
+    def test_non_fabric_rejected(self):
+        with pytest.raises(TypeError):
+            FpgaConfigurator("not a fabric")
+
+    def test_rsa_deployment_flow(self, fabric):
+        # The paper's victim flow: RSA engine + key sealed + encrypted.
+        from repro.crypto import make_exponent_with_weight, random_modulus
+        from repro.fpga.rsa import RsaCircuit
+
+        exponent = make_exponent_with_weight(512, seed=1)
+        circuit = RsaCircuit(exponent, random_modulus(seed=1))
+        image = (
+            Bitstream("rsa-1024")
+            .add_circuit(circuit.circuit_spec())
+            .seal_secret("exponent", exponent)
+            .encrypt()
+        )
+        configurator = FpgaConfigurator(fabric)
+        record = configurator.program(image)
+        assert record.encrypted
+        # Even the owner cannot read the key back out...
+        with pytest.raises(BitstreamError):
+            configurator.readback("rsa-1024")
+        # ...but the power timeline still leaks its Hamming weight.
+        assert circuit.hamming_weight == 512

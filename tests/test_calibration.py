@@ -1,0 +1,120 @@
+"""Tests for attacker-side sensor-clock calibration."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import (
+    SensorClockEstimate,
+    calibrate_channel,
+    estimate_sensor_clock,
+)
+from repro.core.sampler import HwmonSampler
+from repro.soc import Soc
+
+
+def synthetic_trace(interval=0.0352, phase=0.011, duration=3.0,
+                    poll_hz=4000.0, seed=0):
+    """An oversampled trace whose values change at a known grid."""
+    rng = np.random.default_rng(seed)
+    times = np.arange(int(duration * poll_hz)) / poll_hz
+    latches = np.floor((times - phase) / interval).astype(int)
+    # A distinct random value per latch (noisy channel: every
+    # conversion differs).
+    unique = np.unique(latches)
+    mapping = {latch: rng.integers(500, 4000) for latch in unique}
+    values = np.array([mapping[latch] for latch in latches])
+    return times, values
+
+
+class TestEstimator:
+    def test_recovers_interval(self):
+        times, values = synthetic_trace(interval=0.0352)
+        estimate = estimate_sensor_clock(times, values)
+        assert estimate.update_interval == pytest.approx(0.0352, rel=0.02)
+
+    def test_recovers_2ms_interval(self):
+        times, values = synthetic_trace(interval=0.002, duration=0.5)
+        estimate = estimate_sensor_clock(times, values)
+        assert estimate.update_interval == pytest.approx(0.002, rel=0.02)
+
+    def test_recovers_phase(self):
+        times, values = synthetic_trace(interval=0.0352, phase=0.011)
+        estimate = estimate_sensor_clock(times, values)
+        # Phase is defined modulo the interval.
+        delta = (estimate.phase - 0.011) % estimate.update_interval
+        delta = min(delta, estimate.update_interval - delta)
+        assert delta < 0.002
+
+    def test_tolerates_skipped_transitions(self):
+        # Remove some transitions (identical consecutive conversions).
+        times, values = synthetic_trace(seed=1)
+        # Force every third latch's value to repeat the previous one.
+        latches = np.floor((times - 0.011) / 0.0352).astype(int)
+        values = values.copy()
+        for latch in np.unique(latches)[::3]:
+            mask = latches == latch
+            previous = latches == (latch - 1)
+            if previous.any():
+                values[mask] = values[previous][0]
+        estimate = estimate_sensor_clock(times, values)
+        assert estimate.update_interval == pytest.approx(0.0352, rel=0.05)
+
+    def test_jitter_reported_small(self):
+        times, values = synthetic_trace()
+        estimate = estimate_sensor_clock(times, values)
+        assert estimate.jitter < 1.0 / 4000.0
+
+    def test_ms_property(self):
+        estimate = SensorClockEstimate(0.0352, 0.0, 10, 0.0)
+        assert estimate.update_interval_ms == pytest.approx(35.2)
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_sensor_clock(np.arange(4.0), np.arange(4))
+
+    def test_constant_values_rejected(self):
+        times = np.arange(100) / 1000.0
+        with pytest.raises(ValueError, match="transitions"):
+            estimate_sensor_clock(times, np.full(100, 7))
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_sensor_clock(np.arange(20.0), np.arange(19))
+
+
+class TestLiveCalibration:
+    def test_recovers_default_35ms(self):
+        soc = Soc("ZCU102", seed=6)
+        sampler = HwmonSampler(soc, seed=6)
+        estimate = calibrate_channel(sampler, "fpga", start=1.0)
+        assert estimate.update_interval == pytest.approx(0.0352, rel=0.03)
+        assert estimate.n_transitions > 10
+
+    def test_recovers_reconfigured_interval(self):
+        soc = Soc("ZCU102", seed=6)
+        soc.device("fpga").write("update_interval", "8", privileged=True)
+        sampler = HwmonSampler(soc, seed=6)
+        estimate = calibrate_channel(
+            sampler, "fpga", start=1.0, n_samples=4000
+        )
+        true_period = soc.device("fpga").update_period
+        assert estimate.update_interval == pytest.approx(
+            true_period, rel=0.05
+        )
+
+    def test_estimate_matches_reported_interval(self):
+        # The unprivileged estimate agrees with what the (readable)
+        # update_interval file claims.
+        soc = Soc("ZCU102", seed=8)
+        sampler = HwmonSampler(soc, seed=8)
+        estimate = calibrate_channel(sampler, "ddr", start=1.0)
+        reported_ms = int(soc.device("ddr").read("update_interval"))
+        assert estimate.update_interval_ms == pytest.approx(
+            reported_ms, rel=0.05
+        )
+
+    def test_invalid_args(self):
+        soc = Soc("ZCU102", seed=6)
+        sampler = HwmonSampler(soc, seed=6)
+        with pytest.raises(ValueError):
+            calibrate_channel(sampler, n_samples=10)

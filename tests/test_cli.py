@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_boards_parses(self):
+        args = build_parser().parse_args(["boards"])
+        assert args.command == "boards"
+
+    def test_characterize_defaults(self):
+        args = build_parser().parse_args(["characterize"])
+        assert args.samples == 1000
+        assert args.seed == 0
+
+    def test_fingerprint_options(self):
+        args = build_parser().parse_args(
+            ["fingerprint", "--models", "resnet-50", "vgg-19",
+             "--traces", "4", "--channels", "fpga/current", "ddr/current"]
+        )
+        assert args.models == ["resnet-50", "vgg-19"]
+        assert args.traces == 4
+        assert args.channels == ["fpga/current", "ddr/current"]
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["selfdestruct"])
+
+
+class TestCommands:
+    def test_boards_output(self, capsys):
+        assert main(["boards"]) == 0
+        out = capsys.readouterr().out
+        assert "ZCU102" in out
+        assert "VHK158" in out
+
+    def test_characterize_small(self, capsys):
+        assert main(["characterize", "--samples", "30", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "variation ratio" in out
+        assert "current" in out
+
+    def test_rsa_small(self, capsys):
+        assert main(["rsa", "--samples", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "groups" in out
+
+    def test_covert_small(self, capsys):
+        assert main(
+            ["covert", "--bits", "16", "--bit-period", "0.2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "goodput" in out
+
+    def test_fingerprint_small(self, capsys):
+        assert main(
+            [
+                "fingerprint",
+                "--models", "resnet-50", "vgg-19", "squeezenet-1.1",
+                "--traces", "4", "--folds", "2", "--trees", "5",
+                "--duration", "2.0",
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "top-1" in out

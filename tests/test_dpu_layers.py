@@ -1,0 +1,109 @@
+"""Tests for DNN layer cost arithmetic."""
+
+import pytest
+
+from repro.dpu.layers import (
+    add,
+    concat,
+    conv,
+    dwconv,
+    fc,
+    global_pool,
+    pool,
+    total_macs,
+    total_weight_bytes,
+)
+
+
+class TestConv:
+    def test_macs_formula(self):
+        spec, shape = conv("c", 56, 56, 64, 128, kernel=3, stride=1)
+        assert spec.macs == 56 * 56 * 128 * 64 * 9
+        assert shape == (56, 56, 128)
+
+    def test_stride_halves_output(self):
+        _, shape = conv("c", 56, 56, 64, 128, kernel=3, stride=2)
+        assert shape == (28, 28, 128)
+
+    def test_valid_padding(self):
+        _, shape = conv("c", 224, 224, 3, 32, kernel=3, stride=2,
+                        padding="valid")
+        assert shape == (111, 111, 32)
+
+    def test_grouped_conv_divides_macs(self):
+        dense, _ = conv("c", 28, 28, 64, 64, kernel=3)
+        grouped, _ = conv("c", 28, 28, 64, 64, kernel=3, groups=4)
+        assert grouped.macs == dense.macs // 4
+
+    def test_group_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            conv("c", 28, 28, 63, 64, kernel=3, groups=4)
+
+    def test_weight_bytes(self):
+        spec, _ = conv("c", 56, 56, 64, 128, kernel=3)
+        assert spec.weight_bytes == 128 * 64 * 9
+
+    def test_bad_padding(self):
+        with pytest.raises(ValueError):
+            conv("c", 8, 8, 4, 4, padding="reflect")
+
+
+class TestDwConv:
+    def test_macs_one_filter_per_channel(self):
+        spec, shape = dwconv("d", 112, 112, 32, kernel=3, stride=1)
+        assert spec.macs == 112 * 112 * 32 * 9
+        assert shape == (112, 112, 32)
+
+    def test_much_cheaper_than_conv(self):
+        dense, _ = conv("c", 112, 112, 32, 32, kernel=3)
+        depthwise, _ = dwconv("d", 112, 112, 32, kernel=3)
+        assert depthwise.macs * 16 < dense.macs
+
+
+class TestFcPoolAddConcat:
+    def test_fc_macs(self):
+        spec = fc("f", 2048, 1000)
+        assert spec.macs == 2_048_000
+        assert spec.weight_bytes == 2_048_000
+
+    def test_pool_has_no_macs(self):
+        spec, shape = pool("p", 56, 56, 64, kernel=2)
+        assert spec.macs == 0
+        assert shape == (28, 28, 64)
+
+    def test_global_pool_collapses_spatial(self):
+        spec, shape = global_pool("g", 7, 7, 2048)
+        assert shape == (1, 1, 2048)
+        assert spec.output_bytes == 2048
+
+    def test_add_moves_three_tensors(self):
+        spec = add("a", 56, 56, 64)
+        tensor = 56 * 56 * 64
+        assert spec.input_bytes == 2 * tensor
+        assert spec.output_bytes == tensor
+
+    def test_concat_sums_channels(self):
+        spec, shape = concat("x", 28, 28, [64, 128, 32])
+        assert shape == (28, 28, 224)
+        assert spec.memory_bytes == 2 * 28 * 28 * 224
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            fc("f", -1, 10)
+
+
+class TestTotals:
+    def test_total_macs(self):
+        a, _ = conv("a", 8, 8, 4, 4)
+        b = fc("b", 16, 10)
+        assert total_macs([a, b]) == a.macs + b.macs
+
+    def test_total_weight_bytes(self):
+        a, _ = conv("a", 8, 8, 4, 4)
+        b = fc("b", 16, 10)
+        assert total_weight_bytes([a, b]) == a.weight_bytes + b.weight_bytes
+
+    def test_unknown_kind_rejected(self):
+        from repro.dpu.layers import LayerSpec
+        with pytest.raises(ValueError, match="unknown layer kind"):
+            LayerSpec("x", "attention", 0, 0, 0, 0)

@@ -1,0 +1,178 @@
+"""Tests for the DPU inference runner and its rail timelines."""
+
+import numpy as np
+import pytest
+
+from repro.dpu.models import build_model
+from repro.dpu.runner import DPU_RAILS, DpuRunner, RuntimeConfig
+from repro.soc import Soc
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return DpuRunner()
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return build_model("resnet-50")
+
+
+class TestCycleProfile:
+    def test_profile_rails(self, runner, resnet):
+        profile = runner.cycle_profile(resnet)
+        assert set(profile.powers) == set(DPU_RAILS)
+
+    def test_segment_count(self, runner, resnet):
+        profile = runner.cycle_profile(resnet)
+        # pre + per-layer + post + gap.
+        assert profile.durations.size == len(resnet.layers) + 3
+
+    def test_period_exceeds_dpu_latency(self, runner, resnet):
+        profile = runner.cycle_profile(resnet)
+        assert profile.period > runner.dpu.inference_latency(resnet)
+
+    def test_cpu_power_only_in_cpu_phases(self, runner, resnet):
+        profile = runner.cycle_profile(resnet)
+        fpd = profile.powers["fpd"]
+        # Preprocess is the first segment; it draws full CPU power.
+        assert fpd[0] == pytest.approx(runner.runtime.p_preprocess)
+        # During DPU layers the runtime only polls.
+        assert np.all(fpd[1:-2] == runner.runtime.p_runtime_poll)
+
+    def test_larger_input_longer_preprocess(self, runner):
+        small = runner.cycle_profile(build_model("mobilenet-v1-1.0"))
+        large = runner.cycle_profile(build_model("inception-v3"))
+        assert large.durations[0] > small.durations[0]
+
+    def test_mean_power_positive_on_all_rails(self, runner, resnet):
+        profile = runner.cycle_profile(resnet)
+        for rail in DPU_RAILS:
+            assert profile.mean_power(rail) > 0.0
+
+    def test_distinct_models_distinct_profiles(self, runner):
+        a = runner.cycle_profile(build_model("vgg-19"))
+        b = runner.cycle_profile(build_model("squeezenet-1.1"))
+        assert a.period != b.period
+        assert a.mean_power("fpga") != b.mean_power("fpga")
+
+
+class TestPeriodicTimelines:
+    def test_all_rails_present(self, runner, resnet):
+        timelines = runner.rail_timelines(resnet)
+        assert set(timelines) == set(DPU_RAILS)
+
+    def test_periodicity(self, runner, resnet):
+        timelines = runner.rail_timelines(resnet)
+        period = runner.cycle_period(resnet)
+        t = np.linspace(0, period * 0.99, 50)
+        np.testing.assert_allclose(
+            timelines["fpga"].power_at(t),
+            timelines["fpga"].power_at(t + period),
+        )
+
+    def test_mean_matches_profile(self, runner, resnet):
+        timelines = runner.rail_timelines(resnet)
+        profile = runner.cycle_profile(resnet)
+        mean = timelines["ddr"].window_mean(
+            np.array([0.0]), np.array([profile.period])
+        )[0]
+        assert mean == pytest.approx(profile.mean_power("ddr"))
+
+
+class TestTraceTimelines:
+    def test_covers_duration(self, runner, resnet):
+        timelines = runner.trace_timelines(resnet, duration=1.0, seed=1)
+        # Power is still active near the end of the requested window.
+        power = timelines["fpga"].power_at(np.array([0.99]))
+        assert power[0] >= 0.0
+
+    def test_jitter_makes_traces_differ(self, runner, resnet):
+        a = runner.trace_timelines(resnet, duration=0.5, seed=1)
+        b = runner.trace_timelines(resnet, duration=0.5, seed=2)
+        t = np.linspace(0.05, 0.45, 200)
+        assert not np.allclose(
+            a["fpga"].power_at(t), b["fpga"].power_at(t)
+        )
+
+    def test_same_seed_reproducible(self, runner, resnet):
+        a = runner.trace_timelines(resnet, duration=0.5, seed=3)
+        b = runner.trace_timelines(resnet, duration=0.5, seed=3)
+        t = np.linspace(0.05, 0.45, 200)
+        np.testing.assert_allclose(
+            a["fpga"].power_at(t), b["fpga"].power_at(t)
+        )
+
+    def test_rails_share_time_base(self, runner, resnet):
+        timelines = runner.trace_timelines(resnet, duration=0.5, seed=4)
+        assert (
+            timelines["fpga"].edges.shape == timelines["ddr"].edges.shape
+        )
+        np.testing.assert_allclose(
+            timelines["fpga"].edges, timelines["lpd"].edges
+        )
+
+    def test_zero_jitter_matches_periodic_mean(self, resnet):
+        quiet = DpuRunner(cycle_jitter=0.0, stall_probability=0.0)
+        timelines = quiet.trace_timelines(resnet, duration=1.0, seed=1)
+        profile = quiet.cycle_profile(resnet)
+        mean = timelines["fpga"].window_mean(
+            np.array([0.0]), np.array([10 * profile.period])
+        )[0]
+        assert mean == pytest.approx(profile.mean_power("fpga"), rel=1e-6)
+
+    def test_invalid_duration_rejected(self, runner, resnet):
+        with pytest.raises(ValueError):
+            runner.trace_timelines(resnet, duration=0.0)
+
+    def test_invalid_stall_probability(self):
+        with pytest.raises(ValueError):
+            DpuRunner(stall_probability=1.5)
+
+
+class TestDeployment:
+    def test_deploy_attaches_all_rails(self, runner, resnet):
+        soc = Soc(seed=0)
+        runner.deploy(soc, resnet, duration=1.0, seed=1)
+        for rail in DPU_RAILS:
+            assert "dpu" in soc.rail(rail).workload_names
+
+    def test_deploy_visible_in_current(self, runner, resnet):
+        soc = Soc(seed=0)
+        idle = soc.sample("fpga", "current", np.array([0.5]))[0]
+        runner.deploy(soc, resnet, duration=2.0, seed=1)
+        loaded = soc.sample("fpga", "current", np.array([0.5]))[0]
+        assert loaded > idle + 300  # DPU adds hundreds of mA
+
+    def test_redeploy_replaces(self, runner, resnet):
+        soc = Soc(seed=0)
+        runner.deploy(soc, resnet, duration=1.0, seed=1)
+        runner.deploy(soc, build_model("vgg-19"), duration=1.0, seed=1)
+        for rail in DPU_RAILS:
+            assert soc.rail(rail).workload_names.count("dpu") == 1
+
+    def test_undeploy(self, runner, resnet):
+        soc = Soc(seed=0)
+        runner.deploy(soc, resnet, duration=1.0, seed=1)
+        runner.undeploy(soc)
+        for rail in DPU_RAILS:
+            assert "dpu" not in soc.rail(rail).workload_names
+
+    def test_undeploy_is_idempotent(self, runner):
+        soc = Soc(seed=0)
+        runner.undeploy(soc)  # nothing deployed: no error
+
+    def test_periodic_deploy_without_duration(self, runner, resnet):
+        soc = Soc(seed=0)
+        runner.deploy(soc, resnet)
+        assert "dpu" in soc.rail("fpga").workload_names
+
+
+class TestRuntimeConfig:
+    def test_preprocess_scales_with_pixels(self):
+        runtime = RuntimeConfig()
+        assert runtime.preprocess_seconds(299) > runtime.preprocess_seconds(224)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RuntimeConfig(postprocess_seconds=-1.0)

@@ -1,0 +1,69 @@
+"""Smoke tests: every example script must run end to end.
+
+Examples are product surface — a broken example is a broken release.
+Each runs in-process (same interpreter, no subprocess overhead) with
+stdout captured; the slowest are the fingerprinting ones, which is why
+this module stays at the fast end of the suite's runtime budget.
+"""
+
+import runpy
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+ALL_EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def run_example(name, capsys):
+    runpy.run_path(str(EXAMPLES_DIR / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamplesExist:
+    def test_at_least_three_examples(self):
+        assert len(ALL_EXAMPLES) >= 3
+
+    def test_quickstart_present(self):
+        assert "quickstart.py" in ALL_EXAMPLES
+
+
+class TestExamplesRun:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "current" in out
+        assert "permission denied" in out
+
+    def test_rsa_hamming_weight(self, capsys):
+        out = run_example("rsa_hamming_weight.py", capsys)
+        assert "Distinguishable groups" in out
+        assert "current: 17/17" in out
+
+    def test_covert_channel(self, capsys):
+        out = run_example("covert_channel.py", capsys)
+        assert "'AMPERE'" in out
+
+    def test_multi_tenant_cloud(self, capsys):
+        out = run_example("multi_tenant_cloud.py", capsys)
+        assert "upstream INA226 current: r = +" in out
+
+    def test_leakage_assessment(self, capsys):
+        out = run_example("leakage_assessment.py", capsys)
+        assert "LEAKS" in out
+        assert "spectral estimate" in out
+
+    @pytest.mark.slow
+    def test_characterize_sensors(self, capsys):
+        out = run_example("characterize_sensors.py", capsys)
+        assert "variation" in out
+
+    @pytest.mark.slow
+    def test_dnn_fingerprinting(self, capsys):
+        out = run_example("dnn_fingerprinting.py", capsys)
+        assert "top-1" in out
+
+    @pytest.mark.slow
+    def test_attack_campaign(self, capsys):
+        out = run_example("attack_campaign.py", capsys)
+        assert "SUCCESS" in out

@@ -1,0 +1,104 @@
+"""Tests for the FPGA power model."""
+
+import pytest
+
+from repro.fpga.power import (
+    DEFAULT_RESOURCE_PROFILES,
+    FabricPowerModel,
+    ResourcePowerProfile,
+    dynamic_power,
+    static_power,
+)
+
+
+class TestDynamicPower:
+    def test_cmos_formula(self):
+        # alpha * C * V^2 * f
+        assert dynamic_power(0.5, 10e-15, 0.85, 300e6) == pytest.approx(
+            0.5 * 10e-15 * 0.85**2 * 300e6
+        )
+
+    def test_zero_activity_is_zero(self):
+        assert dynamic_power(0.0, 10e-15, 0.85, 300e6) == 0.0
+
+    def test_scales_quadratically_with_voltage(self):
+        low = dynamic_power(1.0, 1e-12, 0.5, 100e6)
+        high = dynamic_power(1.0, 1e-12, 1.0, 100e6)
+        assert high == pytest.approx(4 * low)
+
+    def test_rejects_negative_alpha(self):
+        with pytest.raises(ValueError):
+            dynamic_power(-0.1, 1e-12, 0.85, 100e6)
+
+    def test_rejects_zero_voltage(self):
+        with pytest.raises(ValueError):
+            dynamic_power(0.5, 1e-12, 0.0, 100e6)
+
+
+class TestStaticPower:
+    def test_formula(self):
+        assert static_power(0.1, 0.85) == pytest.approx(0.085)
+
+    def test_rejects_negative_leakage(self):
+        with pytest.raises(ValueError):
+            static_power(-0.1, 0.85)
+
+
+class TestFabricPowerModel:
+    @pytest.fixture
+    def model(self):
+        return FabricPowerModel(voltage=0.85, frequency_hz=300e6)
+
+    def test_default_profiles_present(self, model):
+        for resource in ("lut", "ff", "dsp", "bram", "clock"):
+            assert resource in model.profiles
+
+    def test_element_dynamic_power(self, model):
+        profile = DEFAULT_RESOURCE_PROFILES["lut"]
+        expected = 1.0 * profile.c_eff_farads * 0.85**2 * 300e6
+        assert model.element_dynamic_power("lut", 1.0) == pytest.approx(expected)
+
+    def test_circuit_dynamic_power_sums(self, model):
+        power = model.circuit_dynamic_power(
+            {"lut": 100, "ff": 100}, {"lut": 0.5, "ff": 0.5}
+        )
+        expected = 100 * model.element_dynamic_power("lut", 0.5) + (
+            100 * model.element_dynamic_power("ff", 0.5)
+        )
+        assert power == pytest.approx(expected)
+
+    def test_missing_activity_defaults_to_idle(self, model):
+        assert model.circuit_dynamic_power({"lut": 1000}, {}) == 0.0
+
+    def test_circuit_static_power(self, model):
+        power = model.circuit_static_power({"lut": 10})
+        assert power == pytest.approx(10 * model.element_static_power("lut"))
+
+    def test_unknown_resource_raises(self, model):
+        with pytest.raises(KeyError, match="available"):
+            model.element_dynamic_power("gpu", 0.5)
+
+    def test_negative_count_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.circuit_dynamic_power({"lut": -1}, {"lut": 0.5})
+
+    def test_custom_profiles(self):
+        model = FabricPowerModel(
+            profiles={"lut": ResourcePowerProfile(1e-15, 1e-6)}
+        )
+        assert "dsp" not in model.profiles
+
+    def test_dsp_heavier_than_lut(self, model):
+        assert model.element_dynamic_power("dsp", 1.0) > (
+            model.element_dynamic_power("lut", 1.0)
+        )
+
+    def test_power_virus_scale_sanity(self, model):
+        # A full-board Gnad-style virus (160 k LUT/FF toggle cells with
+        # routing overhead folded into c_eff) must land in the amperes
+        # range on a 0.85 V rail — the regime Fig 2 sweeps through.
+        per_cell = model.element_dynamic_power("lut", 1.0) + (
+            model.element_dynamic_power("ff", 1.0)
+        )
+        total = 160_000 * per_cell
+        assert 0.1 < total < 10.0  # watts

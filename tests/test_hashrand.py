@@ -1,0 +1,86 @@
+"""Tests for counter-based hash randomness."""
+
+import numpy as np
+import pytest
+
+from repro.utils.hashrand import hashed_normal, hashed_uniform, splitmix64
+
+
+class TestSplitmix:
+    def test_deterministic(self):
+        x = np.arange(10, dtype=np.uint64)
+        np.testing.assert_array_equal(splitmix64(x), splitmix64(x))
+
+    def test_distinct_inputs_distinct_outputs(self):
+        x = np.arange(1000, dtype=np.uint64)
+        assert np.unique(splitmix64(x)).size == 1000
+
+    def test_avalanche(self):
+        # Flipping one input bit should flip roughly half the output bits.
+        a = splitmix64(np.array([0], dtype=np.uint64))[0]
+        b = splitmix64(np.array([1], dtype=np.uint64))[0]
+        flipped = bin(int(a) ^ int(b)).count("1")
+        assert 16 <= flipped <= 48
+
+
+class TestHashedUniform:
+    def test_range(self):
+        u = hashed_uniform(123, np.arange(10_000))
+        assert np.all(u >= 0.0)
+        assert np.all(u < 1.0)
+
+    def test_pure_function(self):
+        counters = np.arange(100)
+        np.testing.assert_array_equal(
+            hashed_uniform(5, counters, stream=2),
+            hashed_uniform(5, counters, stream=2),
+        )
+
+    def test_key_sensitivity(self):
+        counters = np.arange(100)
+        a = hashed_uniform(1, counters)
+        b = hashed_uniform(2, counters)
+        assert not np.array_equal(a, b)
+
+    def test_stream_sensitivity(self):
+        counters = np.arange(100)
+        a = hashed_uniform(1, counters, stream=0)
+        b = hashed_uniform(1, counters, stream=1)
+        assert not np.array_equal(a, b)
+
+    def test_mean_and_variance(self):
+        u = hashed_uniform(42, np.arange(200_000))
+        assert u.mean() == pytest.approx(0.5, abs=0.01)
+        assert u.var() == pytest.approx(1 / 12, rel=0.05)
+
+
+class TestHashedNormal:
+    def test_moments(self):
+        z = hashed_normal(7, np.arange(200_000))
+        assert z.mean() == pytest.approx(0.0, abs=0.02)
+        assert z.std() == pytest.approx(1.0, rel=0.02)
+
+    def test_pure_function(self):
+        counters = np.arange(50)
+        np.testing.assert_array_equal(
+            hashed_normal(9, counters, stream=3),
+            hashed_normal(9, counters, stream=3),
+        )
+
+    def test_streams_are_independent(self):
+        counters = np.arange(100_000)
+        a = hashed_normal(9, counters, stream=0)
+        b = hashed_normal(9, counters, stream=1)
+        correlation = np.corrcoef(a, b)[0, 1]
+        assert abs(correlation) < 0.02
+
+    def test_no_nan_or_inf(self):
+        z = hashed_normal(0, np.arange(100_000))
+        assert np.all(np.isfinite(z))
+
+    def test_negative_counter_values_via_uint_cast(self):
+        # Latch indices can be negative before a device's first full
+        # period; the uint64 cast must still yield valid draws.
+        counters = np.array([-3, -2, -1], dtype=np.int64).astype(np.uint64)
+        z = hashed_normal(1, counters)
+        assert np.all(np.isfinite(z))

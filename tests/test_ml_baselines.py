@@ -1,0 +1,138 @@
+"""Tests for the kNN and logistic-regression baselines."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import LogisticRegressionClassifier, softmax
+from repro.ml.neighbors import KNeighborsClassifier
+
+
+def make_blobs(n_per_class=30, n_classes=3, d=6, spread=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_classes, d)) * 4
+    X = np.vstack(
+        [
+            centers[c] + spread * rng.normal(size=(n_per_class, d))
+            for c in range(n_classes)
+        ]
+    )
+    y = np.repeat(np.arange(n_classes), n_per_class)
+    return X, y
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        logits = np.array([[1.0, 2.0, 3.0], [0.0, 0.0, 0.0]])
+        out = softmax(logits)
+        np.testing.assert_allclose(out.sum(axis=1), 1.0)
+
+    def test_large_logits_stable(self):
+        out = softmax(np.array([[1000.0, 1001.0]]))
+        assert np.isfinite(out).all()
+        assert out[0, 1] > out[0, 0]
+
+    def test_uniform_logits_uniform_proba(self):
+        out = softmax(np.zeros((1, 4)))
+        np.testing.assert_allclose(out, 0.25)
+
+
+class TestKnn:
+    def test_classifies_blobs(self):
+        X, y = make_blobs()
+        knn = KNeighborsClassifier(n_neighbors=3).fit(X, y)
+        assert np.mean(knn.predict(X) == y) > 0.95
+
+    def test_k1_memorizes(self):
+        X, y = make_blobs(spread=2.0, seed=1)
+        knn = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert np.mean(knn.predict(X) == y) == 1.0
+
+    def test_manhattan_metric(self):
+        X, y = make_blobs(seed=2)
+        knn = KNeighborsClassifier(n_neighbors=3, metric="manhattan").fit(X, y)
+        assert np.mean(knn.predict(X) == y) > 0.9
+
+    def test_proba_rows_sum_to_one(self):
+        X, y = make_blobs(seed=3)
+        knn = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        np.testing.assert_allclose(knn.predict_proba(X).sum(axis=1), 1.0)
+
+    def test_topk(self):
+        X, y = make_blobs(seed=4)
+        knn = KNeighborsClassifier(n_neighbors=5).fit(X, y)
+        topk = knn.predict_topk(X, 2)
+        assert topk.shape == (X.shape[0], 2)
+        np.testing.assert_array_equal(topk[:, 0], knn.predict(X))
+
+    def test_string_labels(self):
+        X = np.array([[0.0], [0.1], [5.0], [5.1]])
+        y = np.array(["a", "a", "b", "b"])
+        knn = KNeighborsClassifier(n_neighbors=1).fit(X, y)
+        assert list(knn.predict(np.array([[0.05], [5.05]]))) == ["a", "b"]
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            KNeighborsClassifier().predict_proba(np.zeros((1, 2)))
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(n_neighbors=10).fit(
+                np.zeros((3, 2)), np.zeros(3)
+            )
+
+    def test_feature_mismatch_rejected(self):
+        X, y = make_blobs(seed=5)
+        knn = KNeighborsClassifier().fit(X, y)
+        with pytest.raises(ValueError):
+            knn.predict_proba(np.zeros((1, 99)))
+
+    def test_invalid_metric(self):
+        with pytest.raises(ValueError):
+            KNeighborsClassifier(metric="cosine")
+
+
+class TestLogistic:
+    def test_classifies_blobs(self):
+        X, y = make_blobs(seed=6)
+        clf = LogisticRegressionClassifier(n_iterations=200).fit(X, y)
+        assert np.mean(clf.predict(X) == y) > 0.95
+
+    def test_proba_distribution(self):
+        X, y = make_blobs(seed=7)
+        clf = LogisticRegressionClassifier(n_iterations=100).fit(X, y)
+        proba = clf.predict_proba(X)
+        assert np.all(proba >= 0)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0)
+
+    def test_standardization_handles_raw_scales(self):
+        X, y = make_blobs(seed=8)
+        X = X * 1000 + 5000  # hwmon-like magnitudes
+        clf = LogisticRegressionClassifier(n_iterations=200).fit(X, y)
+        assert np.mean(clf.predict(X) == y) > 0.9
+
+    def test_topk(self):
+        X, y = make_blobs(seed=9)
+        clf = LogisticRegressionClassifier(n_iterations=100).fit(X, y)
+        topk = clf.predict_topk(X, 3)
+        assert topk.shape == (X.shape[0], 3)
+
+    def test_binary_case(self):
+        X, y = make_blobs(n_classes=2, seed=10)
+        clf = LogisticRegressionClassifier(n_iterations=200).fit(X, y)
+        assert np.mean(clf.predict(X) == y) > 0.95
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegressionClassifier().predict(np.zeros((1, 2)))
+
+    def test_feature_mismatch_rejected(self):
+        X, y = make_blobs(seed=11)
+        clf = LogisticRegressionClassifier(n_iterations=10).fit(X, y)
+        with pytest.raises(ValueError):
+            clf.predict(np.zeros((1, 99)))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            LogisticRegressionClassifier(l2=-1.0)

@@ -1,0 +1,180 @@
+"""Tests for the I2C/PMBus register transport."""
+
+import numpy as np
+import pytest
+
+from repro.sensors.ina226 import Ina226, Ina226Config
+from repro.sensors.pmbus import (
+    CONFIG_RESET,
+    DIE_ID,
+    MANUFACTURER_ID,
+    REG_BUS_VOLTAGE,
+    REG_CALIBRATION,
+    REG_CONFIGURATION,
+    REG_CURRENT,
+    REG_DIE_ID,
+    REG_MANUFACTURER_ID,
+    REG_MASK_ENABLE,
+    REG_POWER,
+    REG_SHUNT_VOLTAGE,
+    I2cBus,
+    I2cError,
+    Ina226RegisterFile,
+    decode_configuration,
+    encode_configuration,
+)
+
+
+def make_register_file(current=2.0, bus=0.85):
+    sensor = Ina226(shunt_ohms=2e-3, shunt_noise_volts=0.0,
+                    bus_noise_volts=0.0)
+
+    def rail_reader(time):
+        return sensor.convert(np.array([current]), np.array([bus]))
+
+    return Ina226RegisterFile(sensor, rail_reader), sensor
+
+
+class TestConfigurationCodec:
+    def test_round_trip_default(self):
+        config = Ina226Config()
+        assert decode_configuration(encode_configuration(config)) == config
+
+    @pytest.mark.parametrize("averages", [1, 16, 1024])
+    def test_round_trip_averages(self, averages):
+        config = Ina226Config(averages=averages)
+        decoded = decode_configuration(encode_configuration(config))
+        assert decoded.averages == averages
+
+    def test_round_trip_conversion_times(self):
+        config = Ina226Config(
+            shunt_conversion_time=140e-6, bus_conversion_time=8.244e-3
+        )
+        decoded = decode_configuration(encode_configuration(config))
+        assert decoded.shunt_conversion_time == 140e-6
+        assert decoded.bus_conversion_time == 8.244e-3
+
+    def test_reset_value_decodes(self):
+        # The datasheet reset value must decode to a legal config.
+        config = decode_configuration(CONFIG_RESET)
+        assert config.averages in (1, 4, 16, 64, 128, 256, 512, 1024)
+
+
+class TestRegisterFile:
+    def test_id_registers(self):
+        registers, _ = make_register_file()
+        assert registers.read(REG_MANUFACTURER_ID) == MANUFACTURER_ID
+        assert registers.read(REG_DIE_ID) == DIE_ID
+
+    def test_current_register_milliamps(self):
+        registers, _ = make_register_file(current=2.0)
+        value = registers.read(REG_CURRENT, time=1.0)
+        assert 1990 <= value <= 2010  # 1 mA LSB
+
+    def test_bus_register(self):
+        registers, _ = make_register_file(bus=0.85)
+        value = registers.read(REG_BUS_VOLTAGE, time=1.0)
+        assert value == round(0.85 / 1.25e-3)
+
+    def test_shunt_register(self):
+        registers, _ = make_register_file(current=2.0)
+        value = registers.read(REG_SHUNT_VOLTAGE, time=1.0)
+        # 2 A * 2 mOhm = 4 mV -> 1600 LSB of 2.5 uV.
+        assert 1590 <= value <= 1610
+
+    def test_power_register_product(self):
+        registers, _ = make_register_file(current=4.0, bus=0.85)
+        current = registers.read(REG_CURRENT)
+        bus = registers.read(REG_BUS_VOLTAGE)
+        power = registers.read(REG_POWER)
+        assert power == (current * bus) // 20000
+
+    def test_configuration_write_reconfigures(self):
+        registers, sensor = make_register_file()
+        new_config = Ina226Config(averages=64)
+        registers.write(REG_CONFIGURATION, encode_configuration(new_config))
+        assert sensor.config.averages == 64
+
+    def test_reset_bit(self):
+        registers, sensor = make_register_file()
+        registers.write(
+            REG_CONFIGURATION,
+            encode_configuration(Ina226Config(averages=1024)),
+        )
+        registers.write(REG_CONFIGURATION, 0x8000)
+        assert sensor.config == Ina226Config()
+
+    def test_calibration_write(self):
+        registers, sensor = make_register_file()
+        registers.write(REG_CALIBRATION, 1280)
+        assert registers.read(REG_CALIBRATION) == 1280
+        assert sensor.calibration == 1280
+
+    def test_result_registers_read_only(self):
+        registers, _ = make_register_file()
+        with pytest.raises(I2cError, match="read-only"):
+            registers.write(REG_CURRENT, 0)
+
+    def test_unknown_register(self):
+        registers, _ = make_register_file()
+        with pytest.raises(I2cError, match="does not exist"):
+            registers.read(0x42)
+
+    def test_oversized_write_rejected(self):
+        registers, _ = make_register_file()
+        with pytest.raises(I2cError, match="16 bits"):
+            registers.write(REG_MASK_ENABLE, 0x10000)
+
+
+class TestI2cBus:
+    def test_attach_and_scan(self):
+        bus = I2cBus()
+        registers, _ = make_register_file()
+        bus.attach(0x40, registers)
+        assert bus.scan() == [0x40]
+
+    def test_address_conflict(self):
+        bus = I2cBus()
+        a, _ = make_register_file()
+        b, _ = make_register_file()
+        bus.attach(0x40, a)
+        with pytest.raises(I2cError, match="already in use"):
+            bus.attach(0x40, b)
+
+    def test_invalid_address(self):
+        bus = I2cBus()
+        registers, _ = make_register_file()
+        with pytest.raises(I2cError, match="7-bit"):
+            bus.attach(0x80, registers)
+
+    def test_nack_on_empty_address(self):
+        bus = I2cBus()
+        with pytest.raises(I2cError, match="no ACK"):
+            bus.read_word(0x41, REG_CURRENT)
+
+    def test_read_write_through_bus(self):
+        bus = I2cBus()
+        registers, sensor = make_register_file()
+        bus.attach(0x44, registers)
+        assert bus.read_word(0x44, REG_MANUFACTURER_ID) == MANUFACTURER_ID
+        bus.write_word(0x44, REG_CALIBRATION, 2000)
+        assert sensor.calibration == 2000
+
+    def test_probe_ina226(self):
+        bus = I2cBus()
+        registers, _ = make_register_file()
+        bus.attach(0x40, registers)
+        assert bus.probe_ina226(0x40)
+        assert not bus.probe_ina226(0x41)
+
+    def test_pmbus_chain_like_zcu102(self):
+        # The ZCU102 hangs its INA226s off one chain; model a few.
+        bus = I2cBus()
+        for offset in range(4):
+            registers, _ = make_register_file(current=1.0 + offset)
+            bus.attach(0x40 + offset, registers)
+        assert len(bus.scan()) == 4
+        currents = [
+            bus.read_word(0x40 + offset, REG_CURRENT) for offset in range(4)
+        ]
+        assert currents == sorted(currents)

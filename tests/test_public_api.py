@@ -1,0 +1,96 @@
+"""Public-API stability tests.
+
+Downstream users import from the package roots; these tests pin the
+documented entry points so a refactor cannot silently drop them.
+"""
+
+import importlib
+
+import pytest
+
+#: module -> names that must stay importable from it.
+PUBLIC_API = {
+    "repro": [
+        "Soc", "HwmonSampler", "DnnFingerprinter", "FingerprintConfig",
+        "RsaHammingWeightAttack", "characterize", "DpuRunner",
+        "build_model", "list_models", "PowerVirusArray", "RsaCircuit",
+        "RandomForestClassifier", "Trace", "TraceSet",
+    ],
+    "repro.boards": [
+        "list_boards", "get_board", "sensitive_sensors", "sensor_map_for",
+        "VCK190_SENSORS",
+    ],
+    "repro.fpga": [
+        "Fabric", "CircuitSpec", "VoltageRegulator", "PowerVirusArray",
+        "RingOscillator", "RoSensorBank", "TdcSensor", "RsaCircuit",
+        "AesCircuit", "Bitstream", "FpgaConfigurator",
+        "IsolatedTenantPdn", "generate_workload",
+    ],
+    "repro.sensors": [
+        "Ina226", "Ina226Config", "HwmonTree", "HwmonDevice", "I2cBus",
+        "Ina226RegisterFile",
+    ],
+    "repro.soc": [
+        "Soc", "PowerRail", "ActivityTimeline", "ConstantActivity",
+        "PiecewiseActivity", "ThermalModel", "OndemandGovernor",
+        "BackgroundLoad",
+    ],
+    "repro.dpu": [
+        "DpuCore", "DpuConfig", "DpuRunner", "DpuCompiler", "ModelSpec",
+        "build_model", "list_models", "FIG3_MODELS",
+    ],
+    "repro.crypto": [
+        "square_and_multiply", "hamming_weight", "paper_key_set",
+        "PAPER_HAMMING_WEIGHTS",
+    ],
+    "repro.ml": [
+        "RandomForestClassifier", "DecisionTreeClassifier",
+        "KNeighborsClassifier", "LogisticRegressionClassifier",
+        "cross_validate", "accuracy", "top_k_accuracy",
+    ],
+    "repro.core": [
+        "HwmonSampler", "Trace", "TraceSet", "characterize",
+        "DnnFingerprinter", "RsaHammingWeightAttack", "CovertChannel",
+        "OnsetDetector", "AttackCampaign", "SensorHardening",
+        "save_traceset", "load_traceset",
+    ],
+    "repro.analysis": [
+        "pearson", "linear_fit", "relative_variation", "welch_t_test",
+        "snr", "summarize", "count_groups", "estimate_serving_rate",
+    ],
+}
+
+
+@pytest.mark.parametrize("module_name", sorted(PUBLIC_API))
+def test_module_exports(module_name):
+    module = importlib.import_module(module_name)
+    for name in PUBLIC_API[module_name]:
+        assert hasattr(module, name), f"{module_name} lost {name}"
+
+
+@pytest.mark.parametrize("module_name", sorted(PUBLIC_API))
+def test_all_lists_are_importable(module_name):
+    module = importlib.import_module(module_name)
+    exported = getattr(module, "__all__", [])
+    for name in exported:
+        assert hasattr(module, name), f"{module_name}.__all__ lists {name}"
+
+
+def test_version_string():
+    import repro
+
+    assert repro.__version__.count(".") == 2
+
+
+def test_cli_report_subcommand(capsys, tmp_path):
+    from repro.cli import main
+
+    code = main([
+        "report",
+        "--samples", "40",
+        "--rsa-samples", "1200",
+        "--output", str(tmp_path / "r.md"),
+    ])
+    assert code == 0
+    text = (tmp_path / "r.md").read_text()
+    assert "Fig 2" in text and "Fig 4" in text

@@ -1,0 +1,79 @@
+"""Tests for the report builder and the compact evaluation report."""
+
+import pytest
+
+from repro.core.reporting import ReportBuilder, generate_report
+
+
+class TestReportBuilder:
+    def test_title_and_sections(self):
+        markdown = (
+            ReportBuilder("My Report")
+            .section("Results")
+            .paragraph("All good.")
+            .render()
+        )
+        assert markdown.startswith("# My Report")
+        assert "## Results" in markdown
+        assert "All good." in markdown
+
+    def test_table_rendering(self):
+        markdown = (
+            ReportBuilder("T")
+            .table(("a", "b"), [(1, 2), (3, 4)])
+            .render()
+        )
+        assert "| a | b |" in markdown
+        assert "| 1 | 2 |" in markdown
+        assert "|---|---|" in markdown
+
+    def test_table_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ReportBuilder("T").table(("a", "b"), [(1,)])
+
+    def test_write(self, tmp_path):
+        path = (
+            ReportBuilder("T").paragraph("x").write(tmp_path / "r.md")
+        )
+        assert path.read_text().startswith("# T")
+
+    def test_write_creates_dirs(self, tmp_path):
+        path = ReportBuilder("T").write(tmp_path / "a" / "b" / "r.md")
+        assert path.exists()
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def markdown(self):
+        # Minimal scale: fast enough for the unit suite.
+        return generate_report(
+            seed=0,
+            samples_per_level=60,
+            rsa_samples=1500,
+            fingerprint_models=["resnet-50", "vgg-19", "squeezenet-1.1"],
+        )
+
+    def test_contains_all_sections(self, markdown):
+        assert "Fig 2" in markdown
+        assert "Table III" in markdown
+        assert "Fig 4" in markdown
+
+    def test_headline_numbers_present(self, markdown):
+        assert "variation ratio" in markdown
+        assert "(paper: 261x)" in markdown
+        assert "| current | 17 | 17 |" in markdown
+
+    def test_writes_file(self, tmp_path):
+        generate_report(
+            seed=0,
+            samples_per_level=60,
+            rsa_samples=1500,
+            fingerprint_models=["resnet-50", "vgg-19"],
+            path=tmp_path / "report.md",
+        )
+        text = (tmp_path / "report.md").read_text()
+        assert text.startswith("# AmpereBleed reproduction")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(ValueError):
+            generate_report(samples_per_level=1)

@@ -1,0 +1,50 @@
+"""Zoo-wide smoke tests: every model must run through the full stack."""
+
+import numpy as np
+import pytest
+
+from repro.dpu.dpu import DpuCore
+from repro.dpu.models import build_model, list_models
+from repro.dpu.runner import DPU_RAILS, DpuRunner
+
+
+@pytest.fixture(scope="module")
+def runner():
+    return DpuRunner()
+
+
+@pytest.mark.parametrize("name", list_models())
+def test_every_model_schedules_and_profiles(runner, name):
+    model = build_model(name)
+    core = DpuCore()
+
+    # Scheduling covers every layer with positive durations.
+    schedule = core.schedule(model)
+    assert len(schedule) == len(model.layers)
+    assert all(execution.duration > 0 for execution in schedule)
+
+    # The serving profile is well-formed on every rail.
+    profile = runner.cycle_profile(model)
+    assert profile.period > 0
+    for rail in DPU_RAILS:
+        assert np.all(profile.powers[rail] >= 0)
+        assert profile.mean_power(rail) > 0
+
+    # Latency and fps land in a physically sane window for a B4096.
+    fps = 1.0 / profile.period
+    assert 1.0 < fps < 2000.0, f"{name}: {fps} fps"
+
+    # A short jittered trace builds and evaluates.
+    timelines = runner.trace_timelines(model, duration=0.2, seed=1)
+    power = timelines["fpga"].power_at(np.array([0.1]))
+    assert power[0] >= 0.0
+
+
+def test_zoo_fps_span_is_wide(runner):
+    # The zoo must span a wide throughput range — that diversity is
+    # what the classifier keys on.
+    rates = [
+        1.0 / runner.cycle_period(build_model(name))
+        for name in list_models()
+    ]
+    assert max(rates) / min(rates) > 10

@@ -1,0 +1,45 @@
+"""Tests for per-board sensor-map synthesis."""
+
+import pytest
+
+from repro.boards import list_boards, sensor_map_for
+from repro.soc import Soc
+
+
+class TestSensorMapFor:
+    def test_zcu102_exact(self):
+        sensors = sensor_map_for(18)
+        assert len(sensors) == 18
+        assert sensors[0].designator == "u76"
+
+    def test_truncation_keeps_sensitive_sensors(self):
+        sensors = sensor_map_for(14)
+        designators = {sensor.designator for sensor in sensors}
+        assert {"u76", "u77", "u79", "u93"} <= designators
+
+    def test_padding_adds_aux_rails(self):
+        sensors = sensor_map_for(22)
+        assert len(sensors) == 22
+        padded = [s for s in sensors if s.designator.startswith("u10")]
+        assert len(padded) == 4
+        assert all(s.domain == "aux" for s in padded)
+
+    def test_padded_designators_unique(self):
+        sensors = sensor_map_for(22)
+        designators = [sensor.designator for sensor in sensors]
+        assert len(designators) == len(set(designators))
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            sensor_map_for(3)
+
+    @pytest.mark.parametrize(
+        "board", [b.name for b in list_boards()]
+    )
+    def test_every_board_builds_a_soc(self, board):
+        soc = Soc(board, seed=0)
+        from repro.boards import get_board
+
+        assert len(soc.hwmon.devices()) == get_board(board).ina226_count
+        # The four sensitive channels exist everywhere.
+        assert len(soc.sensitive_channels()) == 4

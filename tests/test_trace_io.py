@@ -1,0 +1,74 @@
+"""Tests for trace persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.io import FORMAT_VERSION, load_traceset, save_traceset
+from repro.core.traces import Trace, TraceSet
+
+
+def make_traceset(n_traces=3):
+    traceset = TraceSet()
+    for index in range(n_traces):
+        times = index * 10.0 + np.arange(20) * 0.0352
+        values = np.arange(20) + 100 * index
+        traceset.add(
+            Trace(times=times, values=values, domain="fpga",
+                  quantity="current", label=f"model-{index}")
+        )
+    return traceset
+
+
+class TestRoundTrip:
+    def test_bit_exact(self, tmp_path):
+        original = make_traceset()
+        path = save_traceset(original, tmp_path / "traces.npz")
+        loaded = load_traceset(path)
+        assert len(loaded) == len(original)
+        for a, b in zip(original, loaded):
+            np.testing.assert_array_equal(a.times, b.times)
+            np.testing.assert_array_equal(a.values, b.values)
+            assert a.domain == b.domain
+            assert a.quantity == b.quantity
+            assert a.label == b.label
+
+    def test_suffix_appended(self, tmp_path):
+        path = save_traceset(make_traceset(1), tmp_path / "dataset")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_unlabeled_traces_survive(self, tmp_path):
+        traceset = TraceSet()
+        traceset.add(
+            Trace(times=np.array([0.0]), values=np.array([5]),
+                  domain="ddr", quantity="power", label=None)
+        )
+        loaded = load_traceset(save_traceset(traceset, tmp_path / "t"))
+        assert loaded.traces[0].label is None
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = save_traceset(make_traceset(1), tmp_path / "a" / "b" / "t")
+        assert path.exists()
+
+    def test_loaded_matrix_matches(self, tmp_path):
+        original = make_traceset()
+        loaded = load_traceset(save_traceset(original, tmp_path / "t"))
+        Xa, ya = original.to_matrix(16)
+        Xb, yb = loaded.to_matrix(16)
+        np.testing.assert_array_equal(Xa, Xb)
+        np.testing.assert_array_equal(ya, yb)
+
+
+class TestErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_traceset(tmp_path / "missing.npz")
+
+    def test_not_an_archive(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, data=np.zeros(3))
+        with pytest.raises(ValueError, match="not a trace archive"):
+            load_traceset(path)
+
+    def test_format_version_pinned(self):
+        assert FORMAT_VERSION == 1

@@ -1,0 +1,92 @@
+"""Unit tests for repro.utils.units."""
+
+import math
+
+import pytest
+
+from repro.utils import units
+
+
+class TestPrefixHelpers:
+    def test_milli(self):
+        assert units.milli(1250) == pytest.approx(1.25)
+
+    def test_micro(self):
+        assert units.micro(2.5) == pytest.approx(2.5e-6)
+
+    def test_nano(self):
+        assert units.nano(3) == pytest.approx(3e-9)
+
+    def test_pico(self):
+        assert units.pico(4) == pytest.approx(4e-12)
+
+    def test_kilo(self):
+        assert units.kilo(1.2) == pytest.approx(1200.0)
+
+    def test_mega(self):
+        assert units.mega(100) == pytest.approx(100e6)
+
+    def test_giga(self):
+        assert units.giga(1.2) == pytest.approx(1.2e9)
+
+    def test_round_trip_milli(self):
+        assert units.to_milli(units.milli(37.0)) == pytest.approx(37.0)
+
+    def test_round_trip_micro(self):
+        assert units.to_micro(units.micro(11.0)) == pytest.approx(11.0)
+
+
+class TestHwmonQuantization:
+    def test_amps_to_hwmon_rounds_to_nearest_ma(self):
+        assert units.amps_to_hwmon(1.2344) == 1234
+        assert units.amps_to_hwmon(1.2346) == 1235
+
+    def test_amps_to_hwmon_returns_int(self):
+        assert isinstance(units.amps_to_hwmon(0.5), int)
+
+    def test_volts_to_hwmon(self):
+        assert units.volts_to_hwmon(0.8505) == 850 or units.volts_to_hwmon(0.8505) == 851
+
+    def test_watts_to_hwmon_microwatts(self):
+        assert units.watts_to_hwmon(1.5) == 1_500_000
+
+    def test_zero_values(self):
+        assert units.amps_to_hwmon(0.0) == 0
+        assert units.watts_to_hwmon(0.0) == 0
+
+
+class TestClamp:
+    def test_inside_range(self):
+        assert units.clamp(0.85, 0.825, 0.876) == 0.85
+
+    def test_below_range(self):
+        assert units.clamp(0.8, 0.825, 0.876) == 0.825
+
+    def test_above_range(self):
+        assert units.clamp(0.9, 0.825, 0.876) == 0.876
+
+    def test_empty_interval_raises(self):
+        with pytest.raises(ValueError):
+            units.clamp(1.0, 2.0, 1.0)
+
+
+class TestDb:
+    def test_known_value(self):
+        assert units.db(100.0) == pytest.approx(20.0)
+
+    def test_unity(self):
+        assert units.db(1.0) == pytest.approx(0.0)
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            units.db(-1.0)
+
+    def test_zero_raises(self):
+        with pytest.raises(ValueError):
+            units.db(0.0)
+
+    def test_fractional_ratio(self):
+        assert units.db(0.1) == pytest.approx(-10.0)
+
+    def test_matches_log10(self):
+        assert units.db(261.0) == pytest.approx(10 * math.log10(261.0))

@@ -1,0 +1,91 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils import validation
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        assert validation.require_positive(0.5, "x") == 0.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be > 0"):
+            validation.require_positive(0.0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            validation.require_positive(-1.0, "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        assert validation.require_non_negative(0.0, "x") == 0.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="x must be >= 0"):
+            validation.require_non_negative(-0.1, "x")
+
+
+class TestRequireInRange:
+    def test_accepts_bounds(self):
+        assert validation.require_in_range(0.825, 0.825, 0.876, "v") == 0.825
+        assert validation.require_in_range(0.876, 0.825, 0.876, "v") == 0.876
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            validation.require_in_range(0.9, 0.825, 0.876, "v")
+
+
+class TestRequireIntInRange:
+    def test_accepts_int(self):
+        assert validation.require_int_in_range(3, 0, 10, "n") == 3
+
+    def test_accepts_numpy_int(self):
+        assert validation.require_int_in_range(np.int64(3), 0, 10, "n") == 3
+
+    def test_rejects_float(self):
+        with pytest.raises(TypeError):
+            validation.require_int_in_range(3.0, 0, 10, "n")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            validation.require_int_in_range(11, 0, 10, "n")
+
+
+class TestRequireOneOf:
+    def test_accepts_member(self):
+        assert validation.require_one_of("fpga", {"fpga", "ddr"}, "domain") == "fpga"
+
+    def test_rejects_non_member(self):
+        with pytest.raises(ValueError, match="domain"):
+            validation.require_one_of("gpu", {"fpga", "ddr"}, "domain")
+
+
+class TestAs1dFloatArray:
+    def test_coerces_list(self):
+        out = validation.as_1d_float_array([1, 2, 3], "x")
+        assert out.dtype == np.float64
+        np.testing.assert_array_equal(out, [1.0, 2.0, 3.0])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            validation.as_1d_float_array([[1, 2], [3, 4]], "x")
+
+    def test_empty_ok(self):
+        assert validation.as_1d_float_array([], "x").size == 0
+
+
+class TestRequireSorted:
+    def test_accepts_sorted(self):
+        arr = np.array([1.0, 1.0, 2.0])
+        assert validation.require_sorted(arr, "t") is arr
+
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            validation.require_sorted(np.array([2.0, 1.0]), "t")
+
+    def test_singleton_ok(self):
+        arr = np.array([5.0])
+        assert validation.require_sorted(arr, "t") is arr

@@ -1,0 +1,187 @@
+"""Tests for repro.soc.workload activity timelines."""
+
+import numpy as np
+import pytest
+
+from repro.soc.workload import (
+    CompositeActivity,
+    ConstantActivity,
+    PiecewiseActivity,
+)
+
+
+class TestConstantActivity:
+    def test_power_at(self):
+        timeline = ConstantActivity(2.5)
+        np.testing.assert_allclose(timeline.power_at([0.0, 1.0, 100.0]), 2.5)
+
+    def test_energy(self):
+        timeline = ConstantActivity(2.0)
+        np.testing.assert_allclose(
+            timeline.energy_between([0.0], [3.0]), [6.0]
+        )
+
+    def test_window_mean(self):
+        timeline = ConstantActivity(1.5)
+        np.testing.assert_allclose(
+            timeline.window_mean([10.0], [11.0]), [1.5]
+        )
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantActivity(-1.0)
+
+    def test_zero_power_ok(self):
+        assert ConstantActivity(0.0).power_at([1.0])[0] == 0.0
+
+
+class TestPiecewiseFinite:
+    @pytest.fixture
+    def steps(self):
+        # 1 W for 1 s, 3 W for 2 s, 2 W for 1 s.
+        return PiecewiseActivity([0.0, 1.0, 3.0, 4.0], [1.0, 3.0, 2.0])
+
+    def test_power_lookup(self, steps):
+        np.testing.assert_allclose(
+            steps.power_at([0.5, 1.5, 3.5]), [1.0, 3.0, 2.0]
+        )
+
+    def test_edge_belongs_to_right_segment(self, steps):
+        np.testing.assert_allclose(steps.power_at([1.0]), [3.0])
+
+    def test_holds_last_value_after_end(self, steps):
+        np.testing.assert_allclose(steps.power_at([10.0]), [2.0])
+
+    def test_holds_first_value_before_start(self, steps):
+        np.testing.assert_allclose(steps.power_at([-5.0]), [1.0])
+
+    def test_energy_within(self, steps):
+        # 1*1 + 3*2 + 2*1 = 9 J over the whole span.
+        np.testing.assert_allclose(steps.energy_between([0.0], [4.0]), [9.0])
+
+    def test_energy_partial_segment(self, steps):
+        np.testing.assert_allclose(steps.energy_between([0.5], [1.5]), [0.5 + 1.5])
+
+    def test_energy_beyond_end_extrapolates(self, steps):
+        np.testing.assert_allclose(steps.energy_between([0.0], [5.0]), [9.0 + 2.0])
+
+    def test_energy_before_start_extrapolates(self, steps):
+        np.testing.assert_allclose(steps.energy_between([-1.0], [0.0]), [1.0])
+
+    def test_window_mean(self, steps):
+        np.testing.assert_allclose(steps.window_mean([0.0], [4.0]), [2.25])
+
+    def test_window_mean_rejects_empty_window(self, steps):
+        with pytest.raises(ValueError):
+            steps.window_mean([1.0], [1.0])
+
+    def test_mean_power(self, steps):
+        assert steps.mean_power == pytest.approx(9.0 / 4.0)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseActivity([0.0, 1.0], [1.0, 2.0])
+
+    def test_unsorted_edges_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseActivity([0.0, 2.0, 1.0], [1.0, 2.0])
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseActivity([0.0, 1.0], [-1.0])
+
+    def test_from_segments(self):
+        timeline = PiecewiseActivity.from_segments([(1.0, 2.0), (2.0, 4.0)])
+        np.testing.assert_allclose(timeline.power_at([0.5, 2.0]), [2.0, 4.0])
+        np.testing.assert_allclose(timeline.energy_between([0.0], [3.0]), [10.0])
+
+    def test_from_segments_rejects_zero_duration(self):
+        with pytest.raises(ValueError):
+            PiecewiseActivity.from_segments([(0.0, 1.0)])
+
+
+class TestPiecewisePeriodic:
+    @pytest.fixture
+    def square_wave(self):
+        # 2 W for 1 ms, 0 W for 1 ms, repeating.
+        return PiecewiseActivity(
+            [0.0, 1e-3, 2e-3], [2.0, 0.0], period=2e-3
+        )
+
+    def test_periodic_power(self, square_wave):
+        np.testing.assert_allclose(
+            square_wave.power_at([0.5e-3, 1.5e-3, 2.5e-3, 3.5e-3]),
+            [2.0, 0.0, 2.0, 0.0],
+        )
+
+    def test_periodic_energy_whole_cycles(self, square_wave):
+        # One cycle = 2 mJ.
+        np.testing.assert_allclose(
+            square_wave.energy_between([0.0], [10e-3]), [10e-3]
+        )
+
+    def test_periodic_energy_fraction(self, square_wave):
+        np.testing.assert_allclose(
+            square_wave.energy_between([0.0], [0.5e-3]), [1e-3]
+        )
+
+    def test_periodic_mean_power(self, square_wave):
+        assert square_wave.mean_power == pytest.approx(1.0)
+
+    def test_negative_time_energy(self, square_wave):
+        # Periodicity extends to negative time as well.
+        np.testing.assert_allclose(
+            square_wave.energy_between([-2e-3], [0.0]), [2e-3]
+        )
+
+    def test_gap_is_zero_filled(self):
+        # 1 W for 1 s, then a 1 s gap before the 3 s period repeats.
+        timeline = PiecewiseActivity([0.0, 1.0], [1.0], period=3.0)
+        np.testing.assert_allclose(timeline.power_at([2.0]), [0.0])
+        np.testing.assert_allclose(timeline.energy_between([0.0], [3.0]), [1.0])
+
+    def test_period_shorter_than_span_rejected(self):
+        with pytest.raises(ValueError):
+            PiecewiseActivity([0.0, 1.0, 2.0], [1.0, 2.0], period=1.0)
+
+    def test_window_mean_spanning_many_cycles(self, square_wave):
+        # Over many whole cycles the mean approaches 1 W exactly.
+        np.testing.assert_allclose(
+            square_wave.window_mean([0.0], [20e-3]), [1.0]
+        )
+
+
+class TestCompositeAndScaling:
+    def test_addition(self):
+        combined = ConstantActivity(1.0) + ConstantActivity(2.0)
+        np.testing.assert_allclose(combined.power_at([0.0]), [3.0])
+
+    def test_addition_flattens(self):
+        a = ConstantActivity(1.0) + ConstantActivity(2.0)
+        b = a + ConstantActivity(3.0)
+        assert isinstance(b, CompositeActivity)
+        assert len(b.components) == 3
+
+    def test_composite_energy(self):
+        combined = CompositeActivity(
+            [ConstantActivity(1.0), ConstantActivity(0.5)]
+        )
+        np.testing.assert_allclose(combined.energy_between([0.0], [2.0]), [3.0])
+
+    def test_empty_composite_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeActivity([])
+
+    def test_scaled(self):
+        timeline = ConstantActivity(2.0).scaled(1.5)
+        np.testing.assert_allclose(timeline.power_at([0.0]), [3.0])
+        np.testing.assert_allclose(timeline.energy_between([0.0], [1.0]), [3.0])
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantActivity(1.0).scaled(-1.0)
+
+    def test_mixed_composite_window_mean(self):
+        wave = PiecewiseActivity([0.0, 1.0, 2.0], [2.0, 0.0], period=2.0)
+        combined = wave + ConstantActivity(1.0)
+        np.testing.assert_allclose(combined.window_mean([0.0], [2.0]), [2.0])
