@@ -1,0 +1,68 @@
+"""Bench smoke: the fingerprint bench at tiny scale.
+
+Fast enough for CI (seconds, not minutes): asserts that
+``BENCH_fingerprint.json`` is emitted and well-formed, and that the
+parallel run reproduces the serial run's accuracy numbers exactly.
+Run it alone with ``pytest benchmarks -m bench_smoke``.
+"""
+
+import json
+
+import pytest
+
+from repro.perf.bench import (
+    SCHEMA_VERSION,
+    run_fingerprint_bench,
+    write_bench_json,
+)
+
+pytestmark = pytest.mark.bench_smoke
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_fingerprint_bench(
+        workers=2,
+        n_models=3,
+        durations=(1.0, 2.0),
+        traces_per_model=6,
+        n_folds=3,
+        forest_trees=6,
+        seed=0,
+    )
+
+
+def test_bench_json_emitted_and_well_formed(report, tmp_path):
+    path = write_bench_json(report, str(tmp_path / "BENCH_fingerprint.json"))
+    with open(path) as handle:
+        loaded = json.load(handle)
+    assert loaded == report
+    assert loaded["benchmark"] == "fingerprint"
+    assert loaded["schema_version"] == SCHEMA_VERSION
+    assert loaded["workers"] == 2
+    assert loaded["cpu_count"] >= 1
+    for stage in ("collect", "train", "evaluate"):
+        entry = loaded["stages"][stage]
+        assert entry["serial"] >= 0.0
+        assert entry["parallel"] >= 0.0
+        assert "speedup" in entry
+    assert loaded["total"]["serial"] > 0.0
+    assert loaded["total"]["parallel"] > 0.0
+
+
+def test_serial_parallel_accuracy_parity(report):
+    parity = report["parity"]
+    assert parity["identical"], (
+        f"parallel accuracies drifted from serial by "
+        f"{parity['max_abs_diff']}"
+    )
+    assert parity["max_abs_diff"] == 0.0
+
+
+def test_accuracy_grid_covers_all_cells(report):
+    # 6 Table III channels x 2 durations.
+    assert len(report["accuracy"]) == 12
+    for cell, scores in report["accuracy"].items():
+        assert 0.0 <= scores["top1"] <= scores["top5"] <= 1.0
+    # The strongest channel separates even 3 models at tiny scale.
+    assert report["accuracy"]["fpga/current/2"]["top1"] > 0.5

@@ -5,6 +5,7 @@ Usage::
     python -m repro.cli boards
     python -m repro.cli characterize --samples 1000 --seed 0
     python -m repro.cli fingerprint --models resnet-50 vgg-19 --traces 8
+    python -m repro.cli bench --workers 4
     python -m repro.cli rsa --samples 8000
     python -m repro.cli covert --bit-period 0.08 --bits 64
 
@@ -59,7 +60,9 @@ def _cmd_fingerprint(args: argparse.Namespace) -> int:
         n_folds=args.folds,
         forest_trees=args.trees,
     )
-    fingerprinter = DnnFingerprinter(config=config, seed=args.seed)
+    fingerprinter = DnnFingerprinter(
+        config=config, seed=args.seed, workers=args.workers
+    )
     channels = [tuple(channel.split("/")) for channel in args.channels]
     print(f"collecting {len(models)} models x {args.traces} traces...")
     datasets = fingerprinter.collect_datasets(
@@ -70,6 +73,34 @@ def _cmd_fingerprint(args: argparse.Namespace) -> int:
         print(f"{channel[0]}/{channel[1]}: top-1 {result.top1:.3f}  "
               f"top-5 {result.top5:.3f}")
     return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.perf.bench import run_fingerprint_bench, write_bench_json
+
+    report = run_fingerprint_bench(
+        workers=args.workers,
+        n_models=args.models,
+        traces_per_model=args.traces,
+        n_folds=args.folds,
+        forest_trees=args.trees,
+        seed=args.seed,
+    )
+    print(f"{'stage':10s} {'serial (s)':>11s} {'parallel (s)':>13s} "
+          f"{'speedup':>8s}")
+    for name, stage in report["stages"].items():
+        print(f"{name:10s} {stage['serial']:11.2f} "
+              f"{stage['parallel']:13.2f} {stage['speedup']:8.2f}")
+    total = report["total"]
+    print(f"{'total':10s} {total['serial']:11.2f} "
+          f"{total['parallel']:13.2f} {total['speedup']:8.2f}")
+    parity = report["parity"]
+    print(f"workers: {report['workers']}  cpus: {report['cpu_count']}  "
+          f"accuracy parity: {'exact' if parity['identical'] else 'DRIFT'} "
+          f"(max |diff| {parity['max_abs_diff']:.2e})")
+    path = write_bench_json(report, args.output)
+    print(f"bench report written to {path}")
+    return 0 if parity["identical"] else 1
 
 
 def _cmd_rsa(args: argparse.Namespace) -> int:
@@ -146,6 +177,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--channels", nargs="*", default=["fpga/current"]
     )
     fingerprint.add_argument("--seed", type=int, default=0)
+    fingerprint.add_argument(
+        "--workers", type=int, default=None,
+        help="evaluation worker processes (default: AMPEREBLEED_WORKERS "
+             "env var, else serial; 0 = all CPUs)",
+    )
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the fingerprinting pipeline bench "
+             "(emits BENCH_fingerprint.json)",
+    )
+    bench.add_argument("--models", type=int, default=12)
+    bench.add_argument("--traces", type=int, default=10)
+    bench.add_argument("--folds", type=int, default=5)
+    bench.add_argument("--trees", type=int, default=30)
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument(
+        "--workers", type=int, default=None,
+        help="parallel-run worker processes (default: AMPEREBLEED_WORKERS "
+             "env var, else all CPUs; 0 = all CPUs)",
+    )
+    bench.add_argument(
+        "--output", type=str, default="BENCH_fingerprint.json"
+    )
 
     rsa = sub.add_parser("rsa", help="RSA Hamming-weight attack (Fig 4)")
     rsa.add_argument("--samples", type=int, default=8000)
@@ -173,6 +228,7 @@ _COMMANDS = {
     "boards": _cmd_boards,
     "characterize": _cmd_characterize,
     "fingerprint": _cmd_fingerprint,
+    "bench": _cmd_bench,
     "rsa": _cmd_rsa,
     "covert": _cmd_covert,
     "report": _cmd_report,

@@ -16,6 +16,7 @@ trace duration (1 s .. 5 s), which regenerates Table III.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -26,7 +27,14 @@ from repro.core.traces import Trace, TraceSet
 from repro.dpu.models import ModelSpec, build_model, list_models
 from repro.dpu.runner import DpuRunner
 from repro.ml.forest import RandomForestClassifier
-from repro.ml.validation import CrossValidationResult, cross_validate
+from repro.ml.validation import (
+    CrossValidationResult,
+    collect_cv_result,
+    cross_validate,
+    make_fold_jobs,
+    score_fold,
+)
+from repro.perf.executor import parallel_map
 from repro.soc.soc import Soc
 from repro.utils.rng import derive_seed
 
@@ -42,6 +50,13 @@ TABLE3_CHANNELS: Tuple[Tuple[str, str], ...] = (
 
 #: Table III's duration columns in seconds.
 TABLE3_DURATIONS: Tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0)
+
+
+def _fit_classifier_job(job):
+    """Pool task: fit one channel's classifier on its full dataset."""
+    classifier, X, y = job
+    classifier.fit(X, y)
+    return classifier
 
 
 @dataclass(frozen=True)
@@ -84,7 +99,16 @@ FAST_CONFIG = FingerprintConfig(
 
 
 class DnnFingerprinter:
-    """Mounts the fingerprinting attack end to end on a simulated SoC."""
+    """Mounts the fingerprinting attack end to end on a simulated SoC.
+
+    Args:
+        soc / runner / sampler / config / seed: as before.
+        workers: default worker count for the evaluation stages
+            (``None`` honors ``AMPEREBLEED_WORKERS``, falling back to
+            serial; per-call ``workers=`` arguments override it).  The
+            engine is deterministic: every worker count produces the
+            same accuracies.
+    """
 
     def __init__(
         self,
@@ -93,6 +117,7 @@ class DnnFingerprinter:
         sampler: Optional[HwmonSampler] = None,
         config: FingerprintConfig = None,
         seed: Optional[int] = 0,
+        workers: Optional[int] = None,
     ):
         self.soc = soc if soc is not None else Soc("ZCU102", seed=seed)
         self.runner = runner if runner is not None else DpuRunner()
@@ -103,16 +128,31 @@ class DnnFingerprinter:
         )
         self.config = config if config is not None else FingerprintConfig()
         self.seed = seed
+        self.workers = workers
         self._clock = 1.0  # virtual experiment time, advanced per run
+        self._clock_lock = threading.Lock()
+        self._run_lock = threading.Lock()
+        # (dataset id, duration, width) -> (dataset ref, X, y); the
+        # strong dataset reference keeps the id() key from being
+        # recycled while the entry lives.
+        self._feature_cache: Dict[Tuple, Tuple] = {}
+
+    def _workers(self, workers: Optional[int]) -> Optional[int]:
+        return self.workers if workers is None else workers
 
     # ---------------------------------------------------- collection
 
     def _next_window(self) -> float:
-        """Reserve a fresh time window for one victim run."""
-        start = self._clock
-        guard = 4 * self.soc.device("fpga").update_period
-        self._clock += self.config.duration + 0.3 + guard
-        return start
+        """Reserve a fresh time window for one victim run.
+
+        Atomic: concurrent ``record_run`` callers always receive
+        disjoint windows.
+        """
+        with self._clock_lock:
+            start = self._clock
+            guard = 4 * self.soc.device("fpga").update_period
+            self._clock += self.config.duration + 0.3 + guard
+            return start
 
     def record_run(
         self,
@@ -125,27 +165,32 @@ class DnnFingerprinter:
         The victim runs once; all requested sensors observe the same
         physical window (they are independent INA226 devices polling
         the same activity), exactly as concurrent sampling threads on
-        the real board would see it.
+        the real board would see it.  The channels are recorded through
+        the batched acquisition path: one conversion pass per physical
+        sensor instead of one per channel.
         """
         start = self._next_window()
         run_seed = derive_seed(self.seed, f"run-{model.name}-{run_index}")
-        self.runner.deploy(
-            self.soc,
-            model,
-            duration=self.config.duration + 0.3,
-            seed=run_seed,
-            start=start,
-        )
-        traces: Dict[Tuple[str, str], Trace] = {}
-        for domain, quantity in channels:
-            traces[(domain, quantity)] = self.sampler.collect(
-                domain,
-                quantity,
+        # Deploy/sample/undeploy share the SoC's rail state; serialize
+        # them so concurrent record_run calls cannot interleave
+        # another victim's workload into this run's window.
+        with self._run_lock:
+            self.runner.deploy(
+                self.soc,
+                model,
+                duration=self.config.duration + 0.3,
+                seed=run_seed,
                 start=start,
-                duration=self.config.duration,
-                label=model.name,
             )
-        self.runner.undeploy(self.soc)
+            try:
+                traces = self.sampler.collect_many(
+                    channels,
+                    start=start,
+                    duration=self.config.duration,
+                    label=model.name,
+                )
+            finally:
+                self.runner.undeploy(self.soc)
         return traces
 
     def collect_datasets(
@@ -186,47 +231,105 @@ class DnnFingerprinter:
 
         return factory
 
+    #: Entries kept in the feature-extraction cache before eviction.
+    _FEATURE_CACHE_LIMIT = 128
+
+    def _feature_width(self, duration: Optional[float]) -> int:
+        fraction = (
+            1.0 if duration is None else duration / self.config.duration
+        )
+        return max(4, int(self.config.n_features * fraction))
+
+    def _features(
+        self, dataset: TraceSet, duration: Optional[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Feature matrix + labels, cached per (dataset, duration).
+
+        The CV grid asks for the same (dataset, duration) matrix once
+        per fold batch, fusion once more, and repeated evaluations yet
+        again; extraction (truncate + resample every trace) is pure,
+        so it is computed once and cached.
+        """
+        n_features = self._feature_width(duration)
+        key = (
+            id(dataset),
+            None if duration is None else round(float(duration), 9),
+            n_features,
+        )
+        cached = self._feature_cache.get(key)
+        if cached is not None and cached[0] is dataset:
+            return cached[1], cached[2]
+        source = (
+            dataset if duration is None else dataset.truncated(duration)
+        )
+        X, y = source.to_matrix(n_features)
+        if len(self._feature_cache) >= self._FEATURE_CACHE_LIMIT:
+            self._feature_cache.clear()
+        self._feature_cache[key] = (dataset, X, y)
+        return X, y
+
     def evaluate_channel(
         self,
         dataset: TraceSet,
         duration: Optional[float] = None,
+        workers: Optional[int] = None,
     ) -> CrossValidationResult:
         """Cross-validate one channel's dataset at one trace duration."""
-        if duration is not None:
-            dataset = dataset.truncated(duration)
-            fraction = duration / self.config.duration
-        else:
-            fraction = 1.0
-        n_features = max(4, int(self.config.n_features * fraction))
-        X, y = dataset.to_matrix(n_features)
+        X, y = self._features(dataset, duration)
         return cross_validate(
             X,
             y,
             n_folds=self.config.n_folds,
             classifier_factory=self._forest_factory(),
             seed=derive_seed(self.seed, "cv"),
+            workers=self._workers(workers),
         )
 
     def evaluate_table3(
         self,
         datasets: Dict[Tuple[str, str], TraceSet],
         durations: Sequence[float] = TABLE3_DURATIONS,
+        workers: Optional[int] = None,
     ) -> Dict[Tuple[str, str, float], CrossValidationResult]:
-        """The full Table III grid: channels x durations."""
-        results: Dict[Tuple[str, str, float], CrossValidationResult] = {}
+        """The full Table III grid: channels x durations.
+
+        Every cell's CV folds are flattened into one task list and
+        fanned out together, so workers stay busy across cell
+        boundaries; the scores per cell are exactly what
+        :meth:`evaluate_channel` computes serially.
+        """
+        jobs = []
+        spans: List[Tuple[Tuple[str, str, float], int, int]] = []
+        cv_seed = derive_seed(self.seed, "cv")
         for channel, dataset in datasets.items():
             domain, quantity = channel
             for duration in durations:
-                results[(domain, quantity, duration)] = (
-                    self.evaluate_channel(dataset, duration=duration)
+                X, y = self._features(dataset, duration)
+                cell_jobs = make_fold_jobs(
+                    X,
+                    y,
+                    n_folds=self.config.n_folds,
+                    classifier_factory=self._forest_factory(),
+                    seed=cv_seed,
                 )
-        return results
+                spans.append(
+                    ((domain, quantity, duration), len(jobs), len(cell_jobs))
+                )
+                jobs.extend(cell_jobs)
+        scores = parallel_map(
+            score_fold, jobs, workers=self._workers(workers)
+        )
+        return {
+            cell: collect_cv_result(scores[first:first + count])
+            for cell, first, count in spans
+        }
 
     def evaluate_fused(
         self,
         datasets: Dict[Tuple[str, str], TraceSet],
         channels: Sequence[Tuple[str, str]] = None,
         duration: Optional[float] = None,
+        workers: Optional[int] = None,
     ) -> CrossValidationResult:
         """Fuse several channels into one feature vector and evaluate.
 
@@ -242,15 +345,8 @@ class DnnFingerprinter:
             raise ValueError("need at least one channel to fuse")
         per_channel = []
         labels = None
-        fraction = 1.0
-        if duration is not None:
-            fraction = duration / self.config.duration
-        n_features = max(4, int(self.config.n_features * fraction))
         for channel in channels:
-            dataset = datasets[channel]
-            if duration is not None:
-                dataset = dataset.truncated(duration)
-            X, y = dataset.to_matrix(n_features)
+            X, y = self._features(datasets[channel], duration)
             per_channel.append(X)
             if labels is None:
                 labels = y
@@ -266,16 +362,37 @@ class DnnFingerprinter:
             n_folds=self.config.n_folds,
             classifier_factory=self._forest_factory(),
             seed=derive_seed(self.seed, "cv-fused"),
+            workers=self._workers(workers),
         )
 
     # ------------------------------------------- online classification
 
     def train(self, dataset: TraceSet) -> RandomForestClassifier:
         """Offline phase: fit one channel's classifier on all traces."""
-        X, y = dataset.to_matrix(self.config.n_features)
+        X, y = self._features(dataset, None)
         forest = self._forest_factory()()
         forest.fit(X, y)
         return forest
+
+    def train_all(
+        self,
+        datasets: Dict[Tuple[str, str], TraceSet],
+        workers: Optional[int] = None,
+    ) -> Dict[Tuple[str, str], RandomForestClassifier]:
+        """Offline phase for every channel, fanned out over workers.
+
+        Equivalent to ``{channel: self.train(dataset) for ...}`` — the
+        per-channel forests are identical at any worker count.
+        """
+        channels = list(datasets)
+        jobs = []
+        for channel in channels:
+            X, y = self._features(datasets[channel], None)
+            jobs.append((self._forest_factory()(), X, y))
+        fitted = parallel_map(
+            _fit_classifier_job, jobs, workers=self._workers(workers)
+        )
+        return dict(zip(channels, fitted))
 
     def classify(
         self, classifier: RandomForestClassifier, trace: Trace

@@ -5,17 +5,59 @@ maximum depth 32, Gini splitting, bootstrap sampling "so each tree is
 trained on a unique subset of data by selecting samples with
 replacement", with sqrt-feature subsampling per split (the standard
 random-forest recipe the text's RForest refers to).
+
+Tree fitting is embarrassingly parallel and the forest exploits it:
+``fit`` draws one integer seed per tree in a single atomic RNG call,
+then grows every tree from its own ``default_rng(tree_seed)``.  Each
+tree is therefore a pure function of ``(X, y, params, tree_seed)``,
+so serial and parallel fits — at any worker count — produce
+bit-identical forests (trees, importances, and predictions).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
+import threading
+
 from repro.ml.tree import DecisionTreeClassifier
+from repro.perf.config import resolve_workers
+from repro.perf.executor import in_worker, parallel_map
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require_int_in_range
+
+#: Fit data shared with forked pool workers (set just before fan-out,
+#: inherited copy-on-write, so tree tasks only carry their seed).
+#: Guarded by _FIT_LOCK; the serial path never touches it.
+_FIT_CONTEXT: Optional[Tuple] = None
+_FIT_LOCK = threading.Lock()
+
+
+def _grow_tree(X, y, params, tree_seed) -> DecisionTreeClassifier:
+    """Grow one tree deterministically from its integer seed."""
+    max_depth, max_features, min_samples_leaf, bootstrap = params
+    rng = np.random.default_rng(int(tree_seed))
+    n = X.shape[0]
+    if bootstrap:
+        sample = rng.integers(0, n, size=n)
+    else:
+        sample = np.arange(n)
+    tree = DecisionTreeClassifier(
+        max_depth=max_depth,
+        max_features=max_features,
+        min_samples_leaf=min_samples_leaf,
+        seed=rng,
+    )
+    tree.fit(X[sample], y[sample])
+    return tree
+
+
+def _grow_tree_task(tree_seed) -> DecisionTreeClassifier:
+    """Pool-worker entry: fit data arrives via the forked context."""
+    X, y, params = _FIT_CONTEXT
+    return _grow_tree(X, y, params, tree_seed)
 
 
 class RandomForestClassifier:
@@ -28,6 +70,10 @@ class RandomForestClassifier:
         min_samples_leaf: smallest allowed leaf.
         bootstrap: draw each tree's training set with replacement.
         seed: RNG seed for bootstraps and feature subsampling.
+        n_jobs: worker processes for tree fitting; ``None`` honors the
+            ``AMPEREBLEED_WORKERS`` environment variable (serial when
+            unset), ``0``/negative uses every CPU.  The fitted forest
+            is identical at every worker count.
     """
 
     def __init__(
@@ -38,6 +84,7 @@ class RandomForestClassifier:
         min_samples_leaf: int = 1,
         bootstrap: bool = True,
         seed: RngLike = None,
+        n_jobs: Optional[int] = None,
     ):
         self.n_estimators = require_int_in_range(
             n_estimators, 1, 100_000, "n_estimators"
@@ -46,13 +93,23 @@ class RandomForestClassifier:
         self.max_features = max_features
         self.min_samples_leaf = min_samples_leaf
         self.bootstrap = bool(bootstrap)
+        self.n_jobs = n_jobs
         self._rng = ensure_rng(seed)
         self.trees_: List[DecisionTreeClassifier] = []
         self.classes_: Optional[np.ndarray] = None
         self.feature_importances_: Optional[np.ndarray] = None
 
+    def _tree_params(self) -> Tuple:
+        return (
+            self.max_depth,
+            self.max_features,
+            self.min_samples_leaf,
+            self.bootstrap,
+        )
+
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         """Fit all trees on (bootstrapped) views of the data."""
+        global _FIT_CONTEXT
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y)
         if X.ndim != 2:
@@ -60,22 +117,30 @@ class RandomForestClassifier:
         if y.shape != (X.shape[0],):
             raise ValueError("y must be 1-D with one label per row of X")
         self.classes_ = np.unique(y)
-        n = X.shape[0]
-        self.trees_ = []
+        # One atomic draw decouples tree seeds from execution order.
+        tree_seeds = self._rng.integers(
+            0, np.iinfo(np.int64).max, size=self.n_estimators
+        )
+        params = self._tree_params()
+        workers = resolve_workers(self.n_jobs)
+        if workers <= 1 or self.n_estimators <= 1 or in_worker():
+            self.trees_ = [
+                _grow_tree(X, y, params, seed) for seed in tree_seeds
+            ]
+        else:
+            with _FIT_LOCK:
+                _FIT_CONTEXT = (X, y, params)
+                try:
+                    self.trees_ = parallel_map(
+                        _grow_tree_task,
+                        tree_seeds,
+                        workers=workers,
+                        chunksize=max(1, self.n_estimators // 32),
+                    )
+                finally:
+                    _FIT_CONTEXT = None
         importances = np.zeros(X.shape[1])
-        for _ in range(self.n_estimators):
-            if self.bootstrap:
-                sample = self._rng.integers(0, n, size=n)
-            else:
-                sample = np.arange(n)
-            tree = DecisionTreeClassifier(
-                max_depth=self.max_depth,
-                max_features=self.max_features,
-                min_samples_leaf=self.min_samples_leaf,
-                seed=self._rng,
-            )
-            tree.fit(X[sample], y[sample])
-            self.trees_.append(tree)
+        for tree in self.trees_:
             if tree.feature_importances_ is not None:
                 importances += tree.feature_importances_
         self.feature_importances_ = importances / self.n_estimators

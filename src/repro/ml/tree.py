@@ -185,34 +185,41 @@ class DecisionTreeClassifier:
         parent_counts = np.bincount(labels, minlength=n_present).astype(float)
         parent_gini = gini_impurity(parent_counts)
 
+        # Split-search scaffolding, built once per node and reordered
+        # per candidate feature: the one-hot label matrix (reindexed
+        # into a scratch buffer, then prefix-summed in place) and the
+        # size-validity mask, which does not depend on the feature.
+        one_hot = np.zeros((n, n_present))
+        one_hot[np.arange(n), labels] = 1.0
+        scratch = np.empty_like(one_hot)
+        left_sizes = np.arange(1, n)
+        right_sizes = n - left_sizes
+        size_valid = (left_sizes >= self.min_samples_leaf) & (
+            right_sizes >= self.min_samples_leaf
+        )
+        if not size_valid.any():
+            return None
+
         features = self._rng.choice(
             self.n_features_, size=n_subset, replace=False
         )
         best = None
         best_gain = 1e-12
-        row_index = np.arange(n)
         for feature in features:
             column = X[indices, feature]
             order = np.argsort(column, kind="stable")
             sorted_values = column[order]
-            sorted_labels = labels[order]
             # Candidate split positions: between distinct values only.
             distinct = sorted_values[1:] != sorted_values[:-1]
             if not distinct.any():
                 continue
-            one_hot = np.zeros((n, n_present))
-            one_hot[row_index, sorted_labels] = 1.0
-            left_counts = np.cumsum(one_hot, axis=0)[:-1]
-            right_counts = parent_counts[np.newaxis, :] - left_counts
-            left_sizes = np.arange(1, n)
-            right_sizes = n - left_sizes
-            valid = (
-                distinct
-                & (left_sizes >= self.min_samples_leaf)
-                & (right_sizes >= self.min_samples_leaf)
-            )
+            valid = distinct & size_valid
             if not valid.any():
                 continue
+            np.take(one_hot, order, axis=0, out=scratch)
+            np.cumsum(scratch, axis=0, out=scratch)
+            left_counts = scratch[:-1]
+            right_counts = parent_counts[np.newaxis, :] - left_counts
             weighted = (
                 left_sizes * gini_impurity(left_counts)
                 + right_sizes * gini_impurity(right_counts)

@@ -4,18 +4,32 @@
 9 folds serve as training data and the remaining fold is used for
 testing."  Folds are stratified so every class appears in every fold —
 with 39 classes and balanced trace sets this matches the paper's setup.
+
+Folds are independent fit-and-score tasks, so the harness exposes them
+as such: :func:`make_fold_jobs` builds the ordered task list and
+:func:`score_fold` executes one task.  :func:`cross_validate` runs the
+jobs through :func:`repro.perf.parallel_map` (``workers=1`` is the
+plain serial loop), and the Table III grid evaluator flattens the jobs
+of *every* channel x duration cell into a single pool so folds from
+fast cells never wait on slow ones.  Reproducibility contract: for
+classifier factories whose products fit deterministically from
+construction (integer seeds — the default), serial and parallel runs
+produce identical scores at any worker count.  Factories that share a
+live RNG across folds remain order-dependent and should stick to
+``workers=1``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.metrics import accuracy, top_k_accuracy
-from repro.utils.rng import RngLike, spawn
+from repro.perf.executor import parallel_map
+from repro.utils.rng import RngLike, derive_seed, spawn
 from repro.utils.validation import require_int_in_range
 
 
@@ -63,43 +77,95 @@ class CrossValidationResult:
         )
 
 
+#: One fold's fit-and-score task: (classifier, X, y, train, test).
+FoldJob = Tuple[RandomForestClassifier, np.ndarray, np.ndarray, np.ndarray, np.ndarray]
+
+
+def _default_fold_classifiers(
+    n_folds: int, seed: RngLike
+) -> List[RandomForestClassifier]:
+    """The paper's RForest per fold, independently and stably seeded."""
+    if isinstance(seed, np.random.Generator):
+        fold_seeds = [int(s) for s in seed.integers(0, 1 << 62, size=n_folds)]
+    else:
+        fold_seeds = [
+            derive_seed(seed, f"cv-forest-{index}") for index in range(n_folds)
+        ]
+    return [
+        RandomForestClassifier(n_estimators=100, max_depth=32, seed=fold_seed)
+        for fold_seed in fold_seeds
+    ]
+
+
+def make_fold_jobs(
+    X: np.ndarray,
+    y: np.ndarray,
+    n_folds: int = 10,
+    classifier_factory: Callable[[], RandomForestClassifier] = None,
+    seed: RngLike = None,
+) -> List[FoldJob]:
+    """Build the ordered fit-and-score task per stratified fold.
+
+    Classifiers are constructed here, in fold order, in the calling
+    process — so a factory's construction-time RNG consumption is
+    identical no matter where the jobs later execute.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y)
+    folds = stratified_kfold_indices(y, n_folds, seed=seed)
+    if classifier_factory is None:
+        classifiers = _default_fold_classifiers(len(folds), seed)
+    else:
+        classifiers = [classifier_factory() for _ in folds]
+    jobs: List[FoldJob] = []
+    all_indices = np.arange(y.size)
+    for classifier, fold in zip(classifiers, folds):
+        test_mask = np.zeros(y.size, dtype=bool)
+        test_mask[fold] = True
+        train = all_indices[~test_mask]
+        jobs.append((classifier, X, y, train, fold))
+    return jobs
+
+
+def score_fold(job: FoldJob) -> Tuple[float, float]:
+    """Fit one fold's classifier and return its (top-1, top-5) scores."""
+    classifier, X, y, train, test = job
+    classifier.fit(X[train], y[train])
+    top1 = accuracy(y[test], classifier.predict(X[test]))
+    k = min(5, classifier.classes_.size)
+    top5 = top_k_accuracy(y[test], classifier.predict_topk(X[test], k))
+    return top1, top5
+
+
+def collect_cv_result(
+    fold_scores: Sequence[Tuple[float, float]]
+) -> CrossValidationResult:
+    """Assemble per-fold (top-1, top-5) pairs into a result."""
+    return CrossValidationResult(
+        top1_per_fold=tuple(score[0] for score in fold_scores),
+        top5_per_fold=tuple(score[1] for score in fold_scores),
+    )
+
+
 def cross_validate(
     X: np.ndarray,
     y: np.ndarray,
     n_folds: int = 10,
     classifier_factory: Callable[[], RandomForestClassifier] = None,
     seed: RngLike = None,
+    workers: Optional[int] = None,
 ) -> CrossValidationResult:
     """Stratified k-fold CV of a forest on (X, y), scoring top-1/top-5.
 
     ``classifier_factory`` builds a fresh classifier per fold; the
-    default is the paper's RForest(100 trees, depth 32).
+    default is the paper's RForest(100 trees, depth 32), seeded
+    independently per fold.  ``workers`` fans the folds out over
+    processes (``None`` honors ``AMPEREBLEED_WORKERS``, default
+    serial); scores are identical at any worker count for
+    deterministic factories.
     """
-    X = np.asarray(X, dtype=np.float64)
-    y = np.asarray(y)
-    if classifier_factory is None:
-        fold_seed = spawn(seed, "cv-forests")
-
-        def classifier_factory():
-            return RandomForestClassifier(
-                n_estimators=100, max_depth=32, seed=fold_seed
-            )
-
-    folds = stratified_kfold_indices(y, n_folds, seed=seed)
-    top1_scores: List[float] = []
-    top5_scores: List[float] = []
-    all_indices = np.arange(y.size)
-    for fold in folds:
-        test_mask = np.zeros(y.size, dtype=bool)
-        test_mask[fold] = True
-        train = all_indices[~test_mask]
-        classifier = classifier_factory()
-        classifier.fit(X[train], y[train])
-        top1_scores.append(accuracy(y[fold], classifier.predict(X[fold])))
-        k = min(5, classifier.classes_.size)
-        top5_scores.append(
-            top_k_accuracy(y[fold], classifier.predict_topk(X[fold], k))
-        )
-    return CrossValidationResult(
-        top1_per_fold=tuple(top1_scores), top5_per_fold=tuple(top5_scores)
+    jobs = make_fold_jobs(
+        X, y, n_folds=n_folds, classifier_factory=classifier_factory,
+        seed=seed,
     )
+    return collect_cv_result(parallel_map(score_fold, jobs, workers=workers))

@@ -1,0 +1,39 @@
+"""Performance engine: worker configuration, parallel execution, timing.
+
+The evaluation pipeline (collect traces -> train forests -> sweep the
+Table III grid) is embarrassingly parallel at several granularities;
+this package holds the shared machinery:
+
+* :mod:`repro.perf.config` — one place that decides how many workers
+  a stage may use (``AMPEREBLEED_WORKERS`` env var, CLI ``--workers``,
+  explicit arguments);
+* :mod:`repro.perf.executor` — :func:`parallel_map`, a deterministic
+  fan-out helper over a forked process pool that degrades to a plain
+  serial loop when one worker is requested (or when already inside a
+  worker, so nested stages never oversubscribe);
+* :mod:`repro.perf.timer` — :class:`StageTimer`, a wall-clock stage
+  profiler the benches report from;
+* :mod:`repro.perf.bench` — the fingerprinting pipeline bench that
+  emits ``BENCH_fingerprint.json`` (per-stage wall time, parallel
+  speedup, serial-vs-parallel accuracy parity).
+"""
+
+from repro.perf.config import (
+    WORKERS_ENV,
+    available_cpus,
+    resolve_workers,
+)
+from repro.perf.executor import in_worker, parallel_map
+from repro.perf.timer import StageTimer
+from repro.perf.bench import run_fingerprint_bench, write_bench_json
+
+__all__ = [
+    "WORKERS_ENV",
+    "available_cpus",
+    "resolve_workers",
+    "in_worker",
+    "parallel_map",
+    "StageTimer",
+    "run_fingerprint_bench",
+    "write_bench_json",
+]

@@ -1,0 +1,180 @@
+"""The fingerprinting-pipeline bench behind ``BENCH_fingerprint.json``.
+
+Runs the Table-III-style pipeline — collect traces, train per-channel
+forests, sweep the channel x duration CV grid — once serially and once
+with the parallel engine, and reports:
+
+* wall time per stage for both runs (:class:`repro.perf.StageTimer`);
+* the parallel speedup per stage and overall;
+* accuracy parity: the parallel grid must reproduce the serial grid's
+  top-1/top-5 numbers exactly (the engine is deterministic by
+  construction, so any drift here is a bug).
+
+The JSON schema (consumed by future perf-tracking PRs)::
+
+    {
+      "benchmark": "fingerprint",
+      "schema_version": 1,
+      "workers": 4,                  # parallel-run worker count
+      "cpu_count": 8,                # CPUs visible to this process
+      "scale": {...},                # FingerprintConfig + model/duration counts
+      "stages": {
+        "collect":  {"serial": s, "parallel": s, "speedup": x},
+        "train":    {"serial": s, "parallel": s, "speedup": x},
+        "evaluate": {"serial": s, "parallel": s, "speedup": x}
+      },
+      "total": {"serial": s, "parallel": s, "speedup": x},
+      "parity": {"identical": true, "max_abs_diff": 0.0},
+      "accuracy": {"fpga/current/5.0": {"top1": ..., "top5": ...}, ...}
+    }
+
+Speedups are honest wall-clock ratios on the current machine; on a
+single-CPU container they hover near 1.0 no matter how many workers
+are requested (``cpu_count`` is recorded so downstream tracking can
+normalize).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+from repro.perf.config import available_cpus, resolve_workers
+from repro.perf.timer import StageTimer
+
+#: Bumped whenever the JSON layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+#: Default bench scale: a reduced-but-faithful Table III protocol.
+DEFAULT_MODELS = 12
+DEFAULT_DURATIONS = (1.0, 5.0)
+
+
+def _channel_key(channel: Tuple[str, str, float]) -> str:
+    domain, quantity, duration = channel
+    return f"{domain}/{quantity}/{duration:g}"
+
+
+def _run_pipeline(fingerprinter, models, durations, workers, timer):
+    """collect -> train -> evaluate once at a given worker count."""
+    with timer.stage("collect"):
+        datasets = fingerprinter.collect_datasets(models=models)
+    with timer.stage("train"):
+        classifiers = fingerprinter.train_all(datasets, workers=workers)
+    with timer.stage("evaluate"):
+        results = fingerprinter.evaluate_table3(
+            datasets, durations=durations, workers=workers
+        )
+    return datasets, classifiers, results
+
+
+def run_fingerprint_bench(
+    workers: Optional[int] = None,
+    n_models: int = DEFAULT_MODELS,
+    durations: Sequence[float] = DEFAULT_DURATIONS,
+    traces_per_model: int = 10,
+    n_folds: int = 5,
+    forest_trees: int = 30,
+    seed: int = 0,
+    models: Optional[Iterable[str]] = None,
+) -> Dict:
+    """Run the pipeline serially and in parallel; return the bench dict.
+
+    Args:
+        workers: parallel-run worker count (``None`` honors
+            ``AMPEREBLEED_WORKERS``, falling back to all CPUs).
+        n_models: victim architectures to fingerprint (ignored when
+            ``models`` names them explicitly).
+        durations: Table III duration columns to sweep.
+        traces_per_model / n_folds / forest_trees: protocol scale.
+        seed: experiment seed (both runs share it).
+        models: explicit victim list, overriding ``n_models``.
+    """
+    from repro.core.fingerprint import DnnFingerprinter, FingerprintConfig
+    from repro.dpu.models import list_models
+
+    workers = resolve_workers(workers, default=available_cpus())
+    if models is None:
+        models = list_models()[: max(2, int(n_models))]
+    else:
+        models = list(models)
+    config = FingerprintConfig(
+        duration=max(durations),
+        traces_per_model=traces_per_model,
+        n_folds=n_folds,
+        forest_trees=forest_trees,
+    )
+
+    serial_timer = StageTimer()
+    serial_fp = DnnFingerprinter(config=config, seed=seed)
+    _, _, serial_results = _run_pipeline(
+        serial_fp, models, durations, 1, serial_timer
+    )
+
+    parallel_timer = StageTimer()
+    parallel_fp = DnnFingerprinter(config=config, seed=seed)
+    _, _, parallel_results = _run_pipeline(
+        parallel_fp, models, durations, workers, parallel_timer
+    )
+
+    max_diff = 0.0
+    accuracy: Dict[str, Dict[str, float]] = {}
+    for cell, serial_cv in serial_results.items():
+        parallel_cv = parallel_results[cell]
+        max_diff = max(
+            max_diff,
+            abs(serial_cv.top1 - parallel_cv.top1),
+            abs(serial_cv.top5 - parallel_cv.top5),
+        )
+        accuracy[_channel_key(cell)] = {
+            "top1": parallel_cv.top1,
+            "top5": parallel_cv.top5,
+        }
+
+    def _speedup(serial: float, parallel: float) -> float:
+        return serial / parallel if parallel > 0 else 0.0
+
+    stages = {}
+    for name in ("collect", "train", "evaluate"):
+        serial_s = serial_timer.elapsed(name)
+        parallel_s = parallel_timer.elapsed(name)
+        stages[name] = {
+            "serial": serial_s,
+            "parallel": parallel_s,
+            "speedup": _speedup(serial_s, parallel_s),
+        }
+
+    return {
+        "benchmark": "fingerprint",
+        "schema_version": SCHEMA_VERSION,
+        "workers": workers,
+        "cpu_count": available_cpus(),
+        "scale": {
+            "models": len(models),
+            "traces_per_model": traces_per_model,
+            "n_folds": n_folds,
+            "forest_trees": forest_trees,
+            "durations": list(durations),
+            "channels": 6,
+        },
+        "seed": seed,
+        "stages": stages,
+        "total": {
+            "serial": serial_timer.total,
+            "parallel": parallel_timer.total,
+            "speedup": _speedup(serial_timer.total, parallel_timer.total),
+        },
+        "parity": {
+            "identical": max_diff == 0.0,
+            "max_abs_diff": max_diff,
+        },
+        "accuracy": accuracy,
+    }
+
+
+def write_bench_json(report: Dict, path: str = "BENCH_fingerprint.json") -> str:
+    """Write one bench report to disk; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path

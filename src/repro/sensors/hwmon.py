@@ -182,12 +182,10 @@ class HwmonDevice:
             power_watts=reading.power_watts[inverse],
         )
 
-    def read_series(self, attribute: str, times: np.ndarray) -> np.ndarray:
-        """Integer attribute values at each poll time (the sysfs ABI).
-
-        ``curr1_input`` in mA, ``in0_input``/``in1_input`` in mV,
-        ``power1_input`` in uW, ``update_interval`` in ms.
-        """
+    def _check_series_request(
+        self, attribute: str, times: np.ndarray
+    ) -> np.ndarray:
+        """Validate one (attribute, times) poll; returns clean times."""
         times = np.atleast_1d(np.asarray(times, dtype=np.float64))
         if self._failure is not None and self._failure[0] == "unbind":
             if np.any(times >= self._failure[1]):
@@ -196,14 +194,17 @@ class HwmonDevice:
                     f"(driver unbound)"
                 )
         if attribute == "update_interval":
-            return np.full(
-                times.shape, round(self.update_period * 1e3), dtype=np.int64
-            )
+            return times
         if attribute not in self.READABLE_ATTRS or attribute == "name":
             raise HwmonLookupError(
                 f"{self.path}/{attribute}: not a readable numeric attribute"
             )
-        reading = self.readings_at(times)
+        return times
+
+    def _attribute_values(
+        self, attribute: str, reading: Ina226Reading
+    ) -> np.ndarray:
+        """Extract one sysfs attribute's integers from a conversion."""
         if attribute == "curr1_input":
             return np.rint(reading.current_amps * 1e3).astype(np.int64)
         if attribute == "in0_input":
@@ -214,6 +215,75 @@ class HwmonDevice:
         if attribute == "power1_input":
             return np.rint(reading.power_watts * 1e6).astype(np.int64)
         raise HwmonLookupError(f"{self.path}/{attribute}: unknown attribute")
+
+    def read_series(self, attribute: str, times: np.ndarray) -> np.ndarray:
+        """Integer attribute values at each poll time (the sysfs ABI).
+
+        ``curr1_input`` in mA, ``in0_input``/``in1_input`` in mV,
+        ``power1_input`` in uW, ``update_interval`` in ms.
+        """
+        times = self._check_series_request(attribute, times)
+        if attribute == "update_interval":
+            return np.full(
+                times.shape, round(self.update_period * 1e3), dtype=np.int64
+            )
+        reading = self.readings_at(times)
+        return self._attribute_values(attribute, reading)
+
+    def read_series_batch(self, requests) -> List[np.ndarray]:
+        """Serve several ``(attribute, times)`` polls in one pass.
+
+        The conversions behind every request are computed once over the
+        union of latch indices, then each request's values are gathered
+        from that shared pass.  Because a conversion is a pure function
+        of its latch index, the results are bit-identical to issuing
+        one :meth:`read_series` per request — concurrent sampling
+        threads and this batched path observe the same registers.
+        """
+        prepared = [
+            (attribute, self._check_series_request(attribute, times))
+            for attribute, times in requests
+        ]
+        convertible = [
+            (position, attribute, times)
+            for position, (attribute, times) in enumerate(prepared)
+            if attribute != "update_interval"
+        ]
+        results: List[Optional[np.ndarray]] = [None] * len(prepared)
+        for position, (attribute, times) in enumerate(prepared):
+            if attribute == "update_interval":
+                results[position] = np.full(
+                    times.shape,
+                    round(self.update_period * 1e3),
+                    dtype=np.int64,
+                )
+        if convertible:
+            latches = [
+                self.latch_index(times) for _, _, times in convertible
+            ]
+            unique, inverse = np.unique(
+                np.concatenate(latches), return_inverse=True
+            )
+            reading = self._convert_latches(unique)
+            cursor = 0
+            for (position, attribute, times), request_latches in zip(
+                convertible, latches
+            ):
+                span = inverse[cursor:cursor + request_latches.size]
+                cursor += request_latches.size
+                request_reading = Ina226Reading(
+                    shunt_register=reading.shunt_register[span],
+                    bus_register=reading.bus_register[span],
+                    current_register=reading.current_register[span],
+                    power_register=reading.power_register[span],
+                    current_amps=reading.current_amps[span],
+                    bus_volts=reading.bus_volts[span],
+                    power_watts=reading.power_watts[span],
+                )
+                results[position] = self._attribute_values(
+                    attribute, request_reading
+                )
+        return results
 
     def read(self, attribute: str, time: float = 0.0) -> str:
         """Read one attribute file, returning its string contents."""

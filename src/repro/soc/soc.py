@@ -239,6 +239,76 @@ class Soc:
             )
         return values
 
+    def sample_many(
+        self,
+        channels: Iterable[Tuple[str, str]],
+        times,
+        privileged: bool = False,
+    ) -> Dict[Tuple[str, str], np.ndarray]:
+        """Poll several channels, converting each sensor only once.
+
+        ``channels`` is an iterable of ``(domain, quantity)`` pairs;
+        ``times`` is either one timestamp array shared by every channel
+        or a mapping from channel to its own poll times (concurrent
+        polling threads each have their own jittered clock).  Channels
+        that share a physical sensor — e.g. the FPGA rail's current,
+        voltage and power — are served from a single conversion pass
+        over the union of their latch windows, so one victim run's rail
+        activity is evaluated once rather than per channel.  Values are
+        bit-identical to calling :meth:`sample` per channel.
+        """
+        channels = [tuple(channel) for channel in channels]
+        if not channels:
+            return {}
+        if len(set(channels)) != len(channels):
+            raise ValueError("duplicate channels in sample_many")
+
+        per_channel_times: Dict[Tuple[str, str], np.ndarray] = {}
+        for channel in channels:
+            domain, quantity = channel
+            require_one_of(quantity, QUANTITY_ATTRS, "quantity")
+            if isinstance(times, dict):
+                try:
+                    channel_times = times[channel]
+                except KeyError:
+                    raise KeyError(
+                        f"no poll times for channel {channel!r}"
+                    ) from None
+            else:
+                channel_times = times
+            channel_times = np.asarray(channel_times, dtype=np.float64)
+            if self.hardening is not None:
+                self.hardening.check_access(privileged)
+                channel_times = self.hardening.effective_times(channel_times)
+            per_channel_times[channel] = channel_times
+
+        # Group channels by physical device; one batched read each.
+        by_device: Dict[str, List[Tuple[str, str]]] = {}
+        for channel in channels:
+            designator = SENSITIVE_SENSOR_MAP.get(channel[0], channel[0])
+            by_device.setdefault(designator, []).append(channel)
+
+        values: Dict[Tuple[str, str], np.ndarray] = {}
+        for designator, device_channels in by_device.items():
+            device = self.device(device_channels[0][0])
+            requests = [
+                (QUANTITY_ATTRS[quantity], per_channel_times[(domain, quantity)])
+                for domain, quantity in device_channels
+            ]
+            series = device.read_series_batch(requests)
+            for channel, channel_values in zip(device_channels, series):
+                values[channel] = channel_values
+
+        if self.hardening is not None:
+            for channel in channels:
+                domain, quantity = channel
+                values[channel] = self.hardening.transform(
+                    values[channel],
+                    per_channel_times[channel],
+                    f"{domain}-{quantity}",
+                )
+        return values
+
     def sysfs_path(self, domain: str, quantity: str) -> str:
         """The sysfs file an attacker would poll for this channel."""
         require_one_of(quantity, QUANTITY_ATTRS, "quantity")

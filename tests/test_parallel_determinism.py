@@ -1,0 +1,243 @@
+"""Determinism guarantees of the parallel & batched evaluation engine.
+
+The engine's contract: parallelism and batching are pure execution
+optimizations.  A forest fit at any worker count, a batched
+multi-channel acquisition, and a parallel CV grid must produce
+bit-identical outputs to their serial / per-channel counterparts.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import (
+    TABLE3_CHANNELS,
+    DnnFingerprinter,
+    FingerprintConfig,
+)
+from repro.core.sampler import HwmonSampler
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.validation import cross_validate
+from repro.soc.soc import Soc
+
+
+def _blobs(n_per_class=30, n_classes=4, d=10, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_per_class * n_classes, d))
+    y = np.repeat([f"c{i}" for i in range(n_classes)], n_per_class)
+    for i in range(n_classes):
+        X[y == f"c{i}", i % d] += 2.5
+    return X, y
+
+
+class TestForestDeterminism:
+    @pytest.mark.parametrize("n_jobs", [2, 4])
+    def test_parallel_fit_matches_serial(self, n_jobs):
+        X, y = _blobs()
+        serial = RandomForestClassifier(
+            n_estimators=12, seed=7, n_jobs=1
+        ).fit(X, y)
+        parallel = RandomForestClassifier(
+            n_estimators=12, seed=7, n_jobs=n_jobs
+        ).fit(X, y)
+        assert np.array_equal(
+            serial.predict_proba(X), parallel.predict_proba(X)
+        )
+        assert np.array_equal(
+            serial.feature_importances_, parallel.feature_importances_
+        )
+        for tree_a, tree_b in zip(serial.trees_, parallel.trees_):
+            assert tree_a._split_feature == tree_b._split_feature
+            assert np.array_equal(
+                np.asarray(tree_a._split_threshold),
+                np.asarray(tree_b._split_threshold),
+                equal_nan=True,
+            )
+
+    def test_env_var_worker_count_is_identical(self, monkeypatch):
+        X, y = _blobs(seed=1)
+        serial = RandomForestClassifier(n_estimators=8, seed=3).fit(X, y)
+        monkeypatch.setenv("AMPEREBLEED_WORKERS", "2")
+        enveloped = RandomForestClassifier(n_estimators=8, seed=3).fit(X, y)
+        assert np.array_equal(
+            serial.predict_proba(X), enveloped.predict_proba(X)
+        )
+
+    def test_refit_draws_fresh_trees(self):
+        X, y = _blobs(seed=2)
+        forest = RandomForestClassifier(n_estimators=5, seed=0)
+        first = forest.fit(X, y).predict_proba(X)
+        second = forest.fit(X, y).predict_proba(X)
+        # The forest RNG advances between fits (fresh bootstraps).
+        assert not np.array_equal(first, second)
+
+
+class TestCrossValidationDeterminism:
+    def test_parallel_folds_match_serial(self):
+        X, y = _blobs(n_per_class=20, n_classes=5, seed=3)
+
+        def factory():
+            return RandomForestClassifier(n_estimators=10, seed=11)
+
+        serial = cross_validate(
+            X, y, n_folds=4, classifier_factory=factory, seed=0, workers=1
+        )
+        parallel = cross_validate(
+            X, y, n_folds=4, classifier_factory=factory, seed=0, workers=3
+        )
+        assert serial.top1_per_fold == parallel.top1_per_fold
+        assert serial.top5_per_fold == parallel.top5_per_fold
+
+    def test_default_factory_is_parallel_safe(self):
+        X, y = _blobs(n_per_class=12, n_classes=3, seed=4)
+        serial = cross_validate(X, y, n_folds=3, seed=5, workers=1)
+        parallel = cross_validate(X, y, n_folds=3, seed=5, workers=2)
+        assert serial.top1_per_fold == parallel.top1_per_fold
+        assert serial.top5_per_fold == parallel.top5_per_fold
+
+
+class TestBatchedAcquisition:
+    def test_sample_many_matches_sample(self):
+        soc = Soc("ZCU102", seed=0)
+        times = np.linspace(1.0, 3.0, 57)
+        batched = soc.sample_many(TABLE3_CHANNELS, times)
+        for domain, quantity in TABLE3_CHANNELS:
+            solo = soc.sample(domain, quantity, times)
+            assert np.array_equal(batched[(domain, quantity)], solo)
+
+    def test_sample_many_per_channel_times(self):
+        soc = Soc("ZCU102", seed=1)
+        times = {
+            channel: np.linspace(0.5 + 0.01 * i, 2.0, 40 + i)
+            for i, channel in enumerate(TABLE3_CHANNELS)
+        }
+        batched = soc.sample_many(TABLE3_CHANNELS, times)
+        for channel in TABLE3_CHANNELS:
+            solo = soc.sample(channel[0], channel[1], times[channel])
+            assert np.array_equal(batched[channel], solo)
+
+    def test_collect_many_matches_collect(self):
+        sampler = HwmonSampler(Soc("ZCU102", seed=2), seed=2)
+        batched = sampler.collect_many(
+            TABLE3_CHANNELS, start=1.5, duration=1.0, label="victim"
+        )
+        for domain, quantity in TABLE3_CHANNELS:
+            solo = sampler.collect(
+                domain, quantity, start=1.5, duration=1.0, label="victim"
+            )
+            trace = batched[(domain, quantity)]
+            assert np.array_equal(trace.times, solo.times)
+            assert np.array_equal(trace.values, solo.values)
+            assert trace.label == "victim"
+
+    def test_sample_many_rejects_duplicates(self):
+        soc = Soc("ZCU102", seed=0)
+        with pytest.raises(ValueError):
+            soc.sample_many(
+                [("fpga", "current"), ("fpga", "current")], np.arange(3.0)
+            )
+
+    def test_sample_many_empty(self):
+        assert Soc("ZCU102", seed=0).sample_many([], np.arange(3.0)) == {}
+
+
+class TestPipelineDeterminism:
+    @pytest.fixture(scope="class")
+    def config(self):
+        return FingerprintConfig(
+            duration=2.0, traces_per_model=6, n_folds=3, forest_trees=8
+        )
+
+    def test_grid_parallel_matches_serial(self, config):
+        models = ["resnet-50", "vgg-19", "inception-v1"]
+        serial_fp = DnnFingerprinter(config=config, seed=0)
+        parallel_fp = DnnFingerprinter(config=config, seed=0)
+        channels = [("fpga", "current"), ("fpga", "power")]
+        serial_sets = serial_fp.collect_datasets(
+            models=models, channels=channels
+        )
+        parallel_sets = parallel_fp.collect_datasets(
+            models=models, channels=channels
+        )
+        durations = (1.0, 2.0)
+        serial = serial_fp.evaluate_table3(
+            serial_sets, durations=durations, workers=1
+        )
+        parallel = parallel_fp.evaluate_table3(
+            parallel_sets, durations=durations, workers=2
+        )
+        assert set(serial) == set(parallel)
+        for cell in serial:
+            assert serial[cell].top1_per_fold == parallel[cell].top1_per_fold
+            assert serial[cell].top5_per_fold == parallel[cell].top5_per_fold
+
+    def test_grid_matches_evaluate_channel(self, config):
+        fp = DnnFingerprinter(config=config, seed=1)
+        datasets = fp.collect_datasets(
+            models=["resnet-50", "vgg-19", "squeezenet-1.0"],
+            channels=[("fpga", "current")],
+        )
+        grid = fp.evaluate_table3(datasets, durations=(2.0,), workers=2)
+        single = fp.evaluate_channel(
+            datasets[("fpga", "current")], duration=2.0, workers=1
+        )
+        cell = grid[("fpga", "current", 2.0)]
+        assert cell.top1_per_fold == single.top1_per_fold
+        assert cell.top5_per_fold == single.top5_per_fold
+
+    def test_train_all_matches_train(self, config):
+        fp = DnnFingerprinter(config=config, seed=2)
+        datasets = fp.collect_datasets(
+            models=["resnet-50", "vgg-19"],
+            channels=[("fpga", "current"), ("ddr", "current")],
+        )
+        fitted = fp.train_all(datasets, workers=2)
+        for channel, dataset in datasets.items():
+            X, _ = fp._features(dataset, None)
+            solo = fp.train(dataset)
+            assert np.array_equal(
+                fitted[channel].predict_proba(X), solo.predict_proba(X)
+            )
+
+
+class TestWindowReservation:
+    def test_concurrent_reservations_disjoint(self):
+        config = FingerprintConfig(
+            duration=1.0, traces_per_model=2, n_folds=2, forest_trees=2
+        )
+        fp = DnnFingerprinter(config=config, seed=0)
+        starts = []
+        lock = threading.Lock()
+
+        def reserve():
+            for _ in range(50):
+                window = fp._next_window()
+                with lock:
+                    starts.append(window)
+
+        threads = [threading.Thread(target=reserve) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        starts.sort()
+        assert len(starts) == 200
+        # Every reserved window is disjoint from every other.
+        spacing = np.diff(np.asarray(starts))
+        assert np.all(spacing >= config.duration)
+
+    def test_feature_cache_hits(self):
+        config = FingerprintConfig(
+            duration=2.0, traces_per_model=4, n_folds=2, forest_trees=2
+        )
+        fp = DnnFingerprinter(config=config, seed=0)
+        datasets = fp.collect_datasets(
+            models=["resnet-50", "vgg-19"], channels=[("fpga", "current")]
+        )
+        dataset = datasets[("fpga", "current")]
+        X1, y1 = fp._features(dataset, 1.0)
+        X2, y2 = fp._features(dataset, 1.0)
+        assert X1 is X2 and y1 is y2
+        X3, _ = fp._features(dataset, 2.0)
+        assert X3 is not X1
