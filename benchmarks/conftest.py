@@ -8,15 +8,13 @@ scale keeps the whole suite in the minutes range while preserving the
 reported shapes.
 """
 
-import os
 from typing import Iterable, Sequence
 
 import pytest
 
+from repro.perf.config import full_scale
 
-def full_scale() -> bool:
-    """True when the paper-scale configuration is requested."""
-    return os.environ.get("AMPEREBLEED_FULL", "") == "1"
+__all__ = ["full_scale", "print_table", "table_printer"]
 
 
 def print_table(title: str, header: Sequence[str], rows: Iterable[Sequence]):

@@ -15,7 +15,6 @@ out:
 """
 
 import numpy as np
-import pytest
 from conftest import print_table
 
 from repro.analysis.distributions import count_groups

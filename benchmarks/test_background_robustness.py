@@ -7,7 +7,6 @@ degradation — the deployment question a real attacker (or defender)
 cares about.
 """
 
-import numpy as np
 from conftest import print_table
 
 from repro.core.fingerprint import DnnFingerprinter, FingerprintConfig

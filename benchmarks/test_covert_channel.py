@@ -7,7 +7,6 @@ interval: bit periods comfortably above it are error-free, bit periods
 at or below it collapse.
 """
 
-import numpy as np
 from conftest import print_table
 
 from repro.core.covert_channel import CovertChannel

@@ -13,7 +13,6 @@ Headline findings:
 """
 
 import numpy as np
-import pytest
 from conftest import print_table
 
 from repro.core.countermeasures import (

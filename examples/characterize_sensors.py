@@ -8,7 +8,6 @@ power, plus the crafted ring-oscillator baseline of prior work.
 Run:  python examples/characterize_sensors.py
 """
 
-import numpy as np
 
 from repro import characterize
 

@@ -11,7 +11,6 @@ across that gap and sweeps the signaling rate against the sensor's
 Run:  python examples/covert_channel.py
 """
 
-import numpy as np
 
 from repro.core.covert_channel import CovertChannel
 

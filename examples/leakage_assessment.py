@@ -9,7 +9,6 @@ evaluator would run before (or instead of) mounting full attacks.
 Run:  python examples/leakage_assessment.py
 """
 
-import numpy as np
 
 from repro.analysis import (
     TVLA_THRESHOLD,

@@ -9,7 +9,6 @@ current readings while the stabilized voltage stays flat.
 Run:  python examples/quickstart.py
 """
 
-import numpy as np
 
 from repro import HwmonSampler, Soc
 from repro.soc import ConstantActivity

@@ -15,6 +15,8 @@ physics-grounded simulation substrate (no hardware required):
 * :mod:`repro.ml` — from-scratch decision-tree / random-forest stack.
 * :mod:`repro.core` — the attack itself: unprivileged sampling,
   characterization, DNN fingerprinting, RSA Hamming-weight inference.
+* :mod:`repro.session` — acquisition sessions: the one place the
+  board/SoC/sampler stack is constructed and seeded.
 * :mod:`repro.analysis` — statistics shared by the evaluation benches.
 
 The public entry points re-exported here are the ones a downstream user
@@ -26,27 +28,37 @@ __version__ = "1.0.0"
 from repro.core import (
     CharacterizationResult,
     DnnFingerprinter,
+    FingerprintAnalyzer,
     FingerprintConfig,
     HwmonSampler,
     RsaHammingWeightAttack,
     Trace,
+    TraceArchiveReader,
+    TraceArchiveWriter,
     TraceSet,
+    TraceStream,
     characterize,
 )
 from repro.dpu import DpuRunner, build_model, list_models
 from repro.fpga import PowerVirusArray, RingOscillator, RoSensorBank, RsaCircuit
 from repro.ml import RandomForestClassifier
+from repro.session import AttackSession
 from repro.soc import Soc
 
 __all__ = [
     "__version__",
+    "AttackSession",
     "CharacterizationResult",
     "DnnFingerprinter",
+    "FingerprintAnalyzer",
     "FingerprintConfig",
     "HwmonSampler",
     "RsaHammingWeightAttack",
     "Trace",
+    "TraceArchiveReader",
+    "TraceArchiveWriter",
     "TraceSet",
+    "TraceStream",
     "characterize",
     "DpuRunner",
     "build_model",

@@ -9,7 +9,7 @@ voltage band, CPU model, DRAM size, sensor count) and the Table I bench.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 

@@ -8,10 +8,21 @@ Usage::
     python -m repro.cli bench --workers 4
     python -m repro.cli rsa --samples 8000
     python -m repro.cli covert --bit-period 0.08 --bits 64
+    python -m repro.cli record --experiment fingerprint --out traces/
+    python -m repro.cli analyze --archive traces/
+    python -m repro.cli replay --archive traces/
 
 Each subcommand mounts one of the paper's experiments at a
 command-line-friendly scale and prints a compact report; the full
 evaluation lives in ``benchmarks/``.
+
+The ``record`` / ``analyze`` / ``replay`` trio is the paper's
+two-machine workflow: ``record`` runs only the acquisition plane and
+streams traces into a v2 archive, ``analyze`` runs the evaluation
+purely from the archive (no SoC construction), and ``replay`` re-feeds
+archived captures through the detector or covert demodulator.  With
+the same seed, ``record`` then ``analyze`` prints exactly the numbers
+the in-process subcommand prints.
 """
 
 from __future__ import annotations
@@ -106,7 +117,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _cmd_rsa(args: argparse.Namespace) -> int:
     from repro.core.rsa_attack import RsaHammingWeightAttack
 
-    attack = RsaHammingWeightAttack(seed=args.seed)
+    attack = RsaHammingWeightAttack(seed=args.seed, board=args.board)
     current = attack.sweep(n_samples=args.samples)
     power = attack.sweep(quantity="power", n_samples=args.samples)
     print(f"{'HW':>5s} {'I median (mA)':>14s} {'P median (mW)':>14s}")
@@ -121,7 +132,7 @@ def _cmd_rsa(args: argparse.Namespace) -> int:
 def _cmd_covert(args: argparse.Namespace) -> int:
     from repro.core.covert_channel import CovertChannel
 
-    channel = CovertChannel(seed=args.seed)
+    channel = CovertChannel(seed=args.seed, board=args.board)
     rng = np.random.default_rng(args.seed)
     bits = rng.integers(0, 2, size=args.bits)
     report = channel.transmit(bits, bit_period=args.bit_period)
@@ -141,11 +152,169 @@ def _cmd_report(args: argparse.Namespace) -> int:
         samples_per_level=args.samples,
         rsa_samples=args.rsa_samples,
         path=args.output,
+        board=args.board,
+        workers=args.workers,
     )
     if args.output:
         print(f"report written to {args.output}")
     else:
         print(markdown)
+    return 0
+
+
+def _record_fingerprint(args: argparse.Namespace) -> None:
+    from repro.core.fingerprint import DnnFingerprinter, FingerprintConfig
+    from repro.core.io import TraceArchiveWriter
+    from repro.dpu.models import list_models
+
+    models = args.models if args.models else list_models()
+    channels = [tuple(channel.split("/")) for channel in args.channels]
+    config = FingerprintConfig(
+        duration=args.duration,
+        traces_per_model=args.traces,
+        n_folds=args.folds,
+        forest_trees=args.trees,
+    )
+    fingerprinter = DnnFingerprinter(
+        config=config, seed=args.seed, board=args.board
+    )
+    print(f"recording {len(models)} models x {args.traces} traces...")
+    with TraceArchiveWriter(
+        args.out, meta=fingerprinter.archive_meta(models, channels)
+    ) as writer:
+        fingerprinter.collect_datasets(
+            models=models, channels=channels, sink=writer
+        )
+
+
+def _record_rsa(args: argparse.Namespace) -> None:
+    from repro.core.io import TraceArchiveWriter
+    from repro.core.rsa_attack import RsaHammingWeightAttack
+
+    attack = RsaHammingWeightAttack(seed=args.seed, board=args.board)
+    print(f"recording the Hamming-weight sweep on {args.quantity}...")
+    with TraceArchiveWriter(
+        args.out,
+        meta=attack.archive_meta(
+            quantity=args.quantity, n_samples=args.samples
+        ),
+    ) as writer:
+        attack.collect_sweep(
+            quantity=args.quantity, n_samples=args.samples, sink=writer
+        )
+
+
+def _record_covert(args: argparse.Namespace) -> None:
+    from repro.core.covert_channel import CovertChannel
+    from repro.core.io import TraceArchiveWriter
+
+    channel = CovertChannel(seed=args.seed, board=args.board)
+    rng = np.random.default_rng(args.seed)
+    bits = [int(bit) for bit in rng.integers(0, 2, size=args.bits)]
+    meta = {
+        "experiment": "covert",
+        "board": channel.soc.board.name,
+        "seed": args.seed,
+        "bit_period": args.bit_period,
+        "sent": bits,
+    }
+    print(f"recording a {args.bits}-bit covert frame...")
+    with TraceArchiveWriter(args.out, meta=meta) as writer:
+        part = 0
+
+        def sink(chunk):
+            nonlocal part
+            writer.append(chunk, trace_id="frame", part=part)
+            part += 1
+
+        report = channel.transmit(
+            bits, bit_period=args.bit_period, sink=sink
+        )
+        # The live decode rides along so a replay can verify it
+        # reproduces the receiver's bits exactly.
+        writer.update_meta(received=[int(bit) for bit in report.received])
+
+
+def _cmd_record(args: argparse.Namespace) -> int:
+    recorders = {
+        "fingerprint": _record_fingerprint,
+        "rsa": _record_rsa,
+        "covert": _record_covert,
+    }
+    recorders[args.experiment](args)
+    print(f"archive written to {args.out}")
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.core.io import TraceArchiveReader
+
+    archive = TraceArchiveReader(args.archive)
+    experiment = archive.meta.get("experiment")
+    if experiment == "fingerprint":
+        from repro.core.fingerprint import FingerprintAnalyzer
+
+        analyzer, datasets = FingerprintAnalyzer.from_archive(
+            archive, workers=args.workers
+        )
+        for channel, dataset in datasets.items():
+            result = analyzer.evaluate_channel(dataset)
+            print(f"{channel[0]}/{channel[1]}: top-1 {result.top1:.3f}  "
+                  f"top-5 {result.top5:.3f}")
+        return 0
+    if experiment == "rsa":
+        from repro.core.rsa_attack import sweep_from_traces
+
+        sweep = sweep_from_traces(
+            archive.load_traceset(), quantity=archive.meta.get("quantity")
+        )
+        unit = "mA" if sweep.quantity == "current" else sweep.quantity
+        print(f"{'HW':>5s} {'median (' + unit + ')':>16s}")
+        for profile in sweep.profiles:
+            print(f"{profile.weight:5d} {profile.summary.median:16.0f}")
+        print(f"groups: {sweep.quantity} "
+              f"{sweep.distinguishable_groups()}/{len(sweep.profiles)}")
+        return 0
+    print(f"archive at {args.archive} carries no analyzable experiment "
+          f"tag (meta: {sorted(archive.meta)})", file=sys.stderr)
+    return 1
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    from repro.core.detector import OnsetDetector
+    from repro.core.io import TraceArchiveReader
+
+    archive = TraceArchiveReader(args.archive)
+    if archive.meta.get("experiment") == "covert":
+        from repro.core.covert_channel import decode_frame
+
+        sent = archive.meta.get("sent")
+        frame = next(iter(archive.load_traceset()))
+        decoded = decode_frame(frame, len(sent))
+        errors = sum(a != b for a, b in zip(sent, decoded))
+        print(f"replayed {len(decoded)}-bit covert frame from "
+              f"{len(archive)} archived chunks")
+        print(f"bit errors vs sent payload: {errors} "
+              f"(BER {errors / len(decoded):.3f})")
+        received = archive.meta.get("received")
+        if received is not None:
+            faithful = decoded == [int(bit) for bit in received]
+            print(f"matches the live receiver's decode: "
+                  f"{'yes' if faithful else 'NO'}")
+            return 0 if faithful else 1
+        return 0
+    # Generic path: re-feed each capture's chunks through the onset
+    # detector, exactly as a live stakeout stream would be consumed.
+    detector = OnsetDetector()
+    groups = {}
+    for entry, chunk in zip(archive.entries, archive.iter_chunks()):
+        groups.setdefault(entry["trace_id"], []).append(chunk)
+    for trace_id, chunks in groups.items():
+        found, onset = detector.scan_for_onset(iter(chunks))
+        what = f"onset at t={onset:.3f}s" if found else "no activity"
+        first = chunks[0]
+        print(f"{trace_id} [{first.domain}/{first.quantity}"
+              f"{' ' + first.label if first.label else ''}]: {what}")
     return 0
 
 
@@ -205,6 +374,10 @@ def build_parser() -> argparse.ArgumentParser:
     rsa = sub.add_parser("rsa", help="RSA Hamming-weight attack (Fig 4)")
     rsa.add_argument("--samples", type=int, default=8000)
     rsa.add_argument("--seed", type=int, default=0)
+    rsa.add_argument(
+        "--board", type=str, default=None,
+        help="Table I board to attack (default ZCU102; see `boards`)",
+    )
 
     covert = sub.add_parser(
         "covert", help="current-based covert channel demo"
@@ -212,6 +385,10 @@ def build_parser() -> argparse.ArgumentParser:
     covert.add_argument("--bits", type=int, default=64)
     covert.add_argument("--bit-period", type=float, default=0.08)
     covert.add_argument("--seed", type=int, default=0)
+    covert.add_argument(
+        "--board", type=str, default=None,
+        help="Table I board to attack (default ZCU102; see `boards`)",
+    )
 
     report = sub.add_parser(
         "report", help="compact evaluation report (markdown)"
@@ -220,6 +397,92 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--rsa-samples", type=int, default=6000)
     report.add_argument("--output", type=str, default=None)
     report.add_argument("--seed", type=int, default=0)
+    report.add_argument(
+        "--board", type=str, default=None,
+        help="Table I board to evaluate (default ZCU102; see `boards`)",
+    )
+    report.add_argument(
+        "--workers", type=int, default=None,
+        help="evaluation worker processes (default: AMPEREBLEED_WORKERS "
+             "env var, else serial; 0 = all CPUs)",
+    )
+
+    record = sub.add_parser(
+        "record",
+        help="acquisition plane only: stream an experiment's traces "
+             "into a v2 archive",
+    )
+    record.add_argument(
+        "--experiment", choices=("fingerprint", "rsa", "covert"),
+        default="fingerprint",
+    )
+    record.add_argument(
+        "--out", type=str, required=True,
+        help="archive directory to create (must not hold a manifest)",
+    )
+    record.add_argument("--seed", type=int, default=0)
+    record.add_argument(
+        "--board", type=str, default=None,
+        help="Table I board to record on (default ZCU102)",
+    )
+    record.add_argument(
+        "--models", nargs="*", default=None,
+        help="fingerprint: victim models (default: full zoo)",
+    )
+    record.add_argument(
+        "--traces", type=int, default=8,
+        help="fingerprint: traces per model",
+    )
+    record.add_argument(
+        "--duration", type=float, default=5.0,
+        help="fingerprint: trace duration in seconds",
+    )
+    record.add_argument(
+        "--folds", type=int, default=4,
+        help="fingerprint: CV folds stored in the manifest config",
+    )
+    record.add_argument(
+        "--trees", type=int, default=20,
+        help="fingerprint: forest size stored in the manifest config",
+    )
+    record.add_argument(
+        "--channels", nargs="*", default=["fpga/current"],
+        help="fingerprint: domain/quantity channels to record",
+    )
+    record.add_argument(
+        "--quantity", type=str, default="current",
+        help="rsa: hwmon quantity to sweep",
+    )
+    record.add_argument(
+        "--samples", type=int, default=8000,
+        help="rsa: polls per key",
+    )
+    record.add_argument(
+        "--bits", type=int, default=64, help="covert: payload bits"
+    )
+    record.add_argument(
+        "--bit-period", type=float, default=0.08,
+        help="covert: seconds per bit",
+    )
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="analysis plane only: evaluate a recorded archive "
+             "(no SoC, no sampling)",
+    )
+    analyze.add_argument("--archive", type=str, required=True)
+    analyze.add_argument(
+        "--workers", type=int, default=None,
+        help="evaluation worker processes (default: AMPEREBLEED_WORKERS "
+             "env var, else serial; 0 = all CPUs)",
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-feed an archived capture through the detector or "
+             "covert demodulator",
+    )
+    replay.add_argument("--archive", type=str, required=True)
 
     return parser
 
@@ -232,6 +495,9 @@ _COMMANDS = {
     "rsa": _cmd_rsa,
     "covert": _cmd_covert,
     "report": _cmd_report,
+    "record": _cmd_record,
+    "analyze": _cmd_analyze,
+    "replay": _cmd_replay,
 }
 
 

@@ -18,6 +18,7 @@ from repro.core.covert_channel import (
     CovertChannel,
     PowerCovertReceiver,
     PowerCovertSender,
+    decode_frame,
 )
 from repro.core.calibration import (
     SensorClockEstimate,
@@ -26,21 +27,30 @@ from repro.core.calibration import (
 )
 from repro.core.campaign import AttackCampaign, ReconReport
 from repro.core.detector import Episode, OnsetDetector
-from repro.core.io import load_traceset, save_traceset
+from repro.core.io import (
+    ArchiveError,
+    TraceArchiveReader,
+    TraceArchiveWriter,
+    load_traceset,
+    open_archive,
+    save_traceset,
+)
 from repro.core.features import resample_values, standardize, summary_features
 from repro.core.fingerprint import (
     FAST_CONFIG,
     TABLE3_CHANNELS,
     TABLE3_DURATIONS,
     DnnFingerprinter,
+    FingerprintAnalyzer,
     FingerprintConfig,
 )
 from repro.core.rsa_attack import (
     KeyProfile,
     RsaHammingWeightAttack,
     WeightSweepResult,
+    sweep_from_traces,
 )
-from repro.core.sampler import HwmonSampler
+from repro.core.sampler import HwmonSampler, TraceStream
 from repro.core.traces import Trace, TraceSet
 
 __all__ = [
@@ -54,6 +64,7 @@ __all__ = [
     "CovertChannel",
     "PowerCovertReceiver",
     "PowerCovertSender",
+    "decode_frame",
     "SensorClockEstimate",
     "calibrate_channel",
     "estimate_sensor_clock",
@@ -61,7 +72,11 @@ __all__ = [
     "ReconReport",
     "Episode",
     "OnsetDetector",
+    "ArchiveError",
+    "TraceArchiveReader",
+    "TraceArchiveWriter",
     "load_traceset",
+    "open_archive",
     "save_traceset",
     "ChannelSweep",
     "CharacterizationResult",
@@ -73,11 +88,14 @@ __all__ = [
     "TABLE3_CHANNELS",
     "TABLE3_DURATIONS",
     "DnnFingerprinter",
+    "FingerprintAnalyzer",
     "FingerprintConfig",
     "KeyProfile",
     "RsaHammingWeightAttack",
     "WeightSweepResult",
+    "sweep_from_traces",
     "HwmonSampler",
+    "TraceStream",
     "Trace",
     "TraceSet",
 ]

@@ -18,9 +18,7 @@ three calls; the examples and the campaign tests exercise it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
-
-import numpy as np
+from typing import Dict, Optional, Tuple
 
 from repro.boards.zcu102 import SENSITIVE_SENSOR_MAP
 from repro.core.detector import OnsetDetector
@@ -50,16 +48,27 @@ class AttackCampaign:
 
     def __init__(
         self,
-        soc: Soc,
+        soc: Optional[Soc] = None,
         sampler: Optional[HwmonSampler] = None,
         detector: Optional[OnsetDetector] = None,
         seed: Optional[int] = 0,
+        session=None,
+        board=None,
     ):
-        self.soc = soc
-        self.sampler = (
-            sampler if sampler is not None else HwmonSampler(soc, seed=seed)
+        from repro.session import resolve_session
+
+        self.session = resolve_session(
+            session, soc=soc, sampler=sampler, board=board, seed=seed
         )
         self.detector = detector if detector is not None else OnsetDetector()
+
+    @property
+    def soc(self) -> Soc:
+        return self.session.soc
+
+    @property
+    def sampler(self) -> HwmonSampler:
+        return self.session.sampler
 
     # ------------------------------------------------------------ recon
 
@@ -94,31 +103,23 @@ class AttackCampaign:
     ) -> Tuple[bool, float]:
         """Poll until activity appears on a channel (or timeout).
 
-        Returns ``(found, onset_time)``; polls in ``chunk``-second
-        recordings like a real stakeout loop would, to bound memory.
+        Returns ``(found, onset_time)``; consumes the channel as one
+        chunked :class:`~repro.core.sampler.TraceStream`, so memory is
+        bounded by the ``chunk`` window no matter how long the
+        stakeout runs.  The stream's first chunk calibrates the idle
+        baseline; later chunks are judged against it, so a victim that
+        is already running when a chunk starts is still caught.
         """
         require_positive(timeout, "timeout")
         require_positive(chunk, "chunk")
-        elapsed = 0.0
-        baseline = None
-        while elapsed < timeout:
-            trace = self.sampler.collect(
-                domain, "current", start=start + elapsed, duration=chunk
-            )
-            if baseline is None:
-                # The first chunk calibrates the idle baseline; later
-                # chunks are judged against it, so a victim that is
-                # already running when a chunk starts is still caught.
-                baseline = self.detector.estimate_baseline(
-                    np.asarray(trace.values, dtype=np.float64)
-                )
-            found, onset = self.detector.detect_onset(
-                trace, baseline=baseline
-            )
-            if found:
-                return True, onset
-            elapsed += chunk
-        return False, float("nan")
+        stream = self.sampler.stream(
+            domain,
+            "current",
+            start=start,
+            duration=timeout,
+            chunk_duration=chunk,
+        )
+        return self.detector.scan_for_onset(stream)
 
     # ----------------------------------------------------------- attack
 

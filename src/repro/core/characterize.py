@@ -96,11 +96,13 @@ def characterize(
     samples_per_level: int = 10_000,
     levels: Optional[np.ndarray] = None,
     seed: RngLike = 0,
+    session=None,
+    board=None,
 ) -> CharacterizationResult:
     """Run the Fig 2 sweep and aggregate per-level statistics.
 
     Args:
-        soc: platform under test (default: seeded ZCU102).
+        soc: platform under test (default: the session's seeded board).
         virus: the activatable victim array (default: the paper's
             160 groups x 1 k instances).
         ro_bank: the crafted-circuit baseline (default: distributed
@@ -111,12 +113,16 @@ def characterize(
         levels: activation levels to visit (default 0..n_groups).
         seed: keys the RO jitter stream (the SoC's own seed keys the
             hwmon noise).
+        session: acquisition session superseding ``soc``.
+        board: board name when no session/soc is given (default
+            ZCU102).
     """
+    from repro.session import resolve_session
+
     samples_per_level = require_int_in_range(
         samples_per_level, 2, 10_000_000, "samples_per_level"
     )
-    if soc is None:
-        soc = Soc("ZCU102", seed=0 if seed is None else seed)
+    soc = resolve_session(session, soc=soc, board=board, seed=seed).soc
     if virus is None:
         virus = PowerVirusArray(seed=seed)
     if ro_bank is None:

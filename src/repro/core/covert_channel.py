@@ -9,21 +9,25 @@ crafted receiver circuit.
 
 The implementation is deliberately simple and robust: on-off keying
 (OOK).  The sender toggles a power load per bit; the receiver polls
-``curr1_input``, averages each bit window, and thresholds against a
-calibration derived from an alternating preamble.  The channel's
-capacity is gated by the sensor's update interval — one more reason
-the root-only ``update_interval`` knob matters — which the covert
-bench sweeps.
+``curr1_input`` one bit window at a time (bounded chunks — a real
+receiver loop never holds the whole frame), averages each window, and
+thresholds against a calibration derived from an alternating preamble.
+Demodulation is a pure function of the recorded readings, so a frame
+archived by the acquisition plane replays to exactly the bits a live
+receiver decodes.  The channel's capacity is gated by the sensor's
+update interval — one more reason the root-only ``update_interval``
+knob matters — which the covert bench sweeps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.sampler import HwmonSampler
+from repro.core.traces import Trace
 from repro.soc.soc import Soc
 from repro.soc.workload import PiecewiseActivity
 from repro.utils.validation import require_positive
@@ -93,6 +97,62 @@ class PowerCovertSender:
         return PiecewiseActivity.from_segments(segments, start=start)
 
 
+def _window_mean(window: np.ndarray) -> float:
+    """Mean of one bit window, discarding the leading edge poll.
+
+    The first poll of a window may still serve the previous bit's
+    cached conversion; dropping it is what a real receiver does.
+    """
+    window = window.astype(np.float64)
+    if window.size > 1:
+        window = window[1:]
+    return float(window.mean())
+
+
+def slice_bits(means: np.ndarray, n_payload_bits: int) -> List[int]:
+    """Threshold per-bit means against the preamble calibration.
+
+    Pure analysis-plane arithmetic: the alternating preamble
+    self-calibrates the slicing threshold (midpoint of the high/low
+    means), so decoding needs no knowledge of the board's idle
+    current — and works identically on live and archived frames.
+    """
+    means = np.asarray(means, dtype=np.float64)
+    if means.size != len(PREAMBLE) + n_payload_bits:
+        raise ValueError(
+            f"expected {len(PREAMBLE) + n_payload_bits} bit means "
+            f"(preamble + payload), got {means.size}"
+        )
+    preamble_means = means[: len(PREAMBLE)]
+    highs = preamble_means[np.array(PREAMBLE, dtype=bool)]
+    lows = preamble_means[~np.array(PREAMBLE, dtype=bool)]
+    threshold = (highs.mean() + lows.mean()) / 2.0
+    payload = means[len(PREAMBLE):]
+    return [int(value > threshold) for value in payload]
+
+
+def decode_frame(trace: Trace, n_payload_bits: int) -> List[int]:
+    """Analysis plane: demodulate an archived frame recording.
+
+    ``trace`` must cover the whole frame (preamble + payload) at the
+    receiver's polling geometry — i.e. what
+    :meth:`PowerCovertReceiver.demodulate` recorded through its
+    ``sink``.  Pure: needs no sampler or SoC, so a replay machine can
+    decode with nothing but the archive, and returns exactly the bits
+    the live receiver decoded.
+    """
+    total_bits = len(PREAMBLE) + n_payload_bits
+    if trace.n_samples % total_bits:
+        raise ValueError(
+            f"frame of {trace.n_samples} samples does not divide "
+            f"into {total_bits} bit windows"
+        )
+    polls_per_bit = trace.n_samples // total_bits
+    windows = trace.values.reshape(total_bits, polls_per_bit)
+    means = np.array([_window_mean(window) for window in windows])
+    return slice_bits(means, n_payload_bits)
+
+
 class PowerCovertReceiver:
     """The CPU-side conspirator: an unprivileged hwmon polling loop."""
 
@@ -108,44 +168,59 @@ class PowerCovertReceiver:
             raise ValueError("oversample must be >= 1")
         self.oversample = int(oversample)
 
-    def _bit_means(
-        self, start: float, n_bits: int, bit_period: float
-    ) -> np.ndarray:
-        """Mean current per bit window (discarding window edges)."""
+    def _polls_per_bit(self, bit_period: float) -> int:
         update = self.sampler.soc.device(self.domain).update_period
-        polls_per_bit = max(self.oversample, int(bit_period / update))
-        trace = self.sampler.collect(
+        return max(self.oversample, int(bit_period / update))
+
+    def _bit_means(
+        self,
+        start: float,
+        n_bits: int,
+        bit_period: float,
+        sink: Optional[Callable[[Trace], None]] = None,
+    ) -> np.ndarray:
+        """Mean current per bit window, one bounded chunk at a time.
+
+        The stream yields exactly one bit window per chunk, so the
+        receiver's resident buffer is polls-per-bit samples regardless
+        of frame length; ``sink`` observes each raw chunk as it is
+        captured (the acquisition plane's archive hook).
+        """
+        polls_per_bit = self._polls_per_bit(bit_period)
+        stream = self.sampler.stream(
             self.domain,
             "current",
             start=start,
             n_samples=n_bits * polls_per_bit,
             poll_hz=polls_per_bit / bit_period,
+            chunk_samples=polls_per_bit,
         )
-        values = trace.values.astype(np.float64)
-        windows = values.reshape(n_bits, polls_per_bit)
-        # Drop the first poll of each window: it may still serve the
-        # previous bit's cached conversion.
-        if polls_per_bit > 1:
-            windows = windows[:, 1:]
-        return windows.mean(axis=1)
+        means = np.empty(n_bits)
+        for index, chunk in enumerate(stream):
+            if sink is not None:
+                sink(chunk)
+            means[index] = _window_mean(chunk.values)
+        return means
 
     def demodulate(
-        self, start: float, n_payload_bits: int, bit_period: float
+        self,
+        start: float,
+        n_payload_bits: int,
+        bit_period: float,
+        sink: Optional[Callable[[Trace], None]] = None,
     ) -> List[int]:
         """Recover a payload sent with :class:`PowerCovertSender`.
 
-        The alternating preamble self-calibrates the slicing threshold
-        (midpoint of the high/low means), so the receiver needs no
-        prior knowledge of the board's idle current.
+        Polls live in bounded per-bit chunks; pass ``sink`` to tee the
+        raw chunks into a trace archive while decoding.
         """
         total_bits = len(PREAMBLE) + n_payload_bits
-        means = self._bit_means(start, total_bits, bit_period)
-        preamble_means = means[: len(PREAMBLE)]
-        highs = preamble_means[np.array(PREAMBLE, dtype=bool)]
-        lows = preamble_means[~np.array(PREAMBLE, dtype=bool)]
-        threshold = (highs.mean() + lows.mean()) / 2.0
-        payload = means[len(PREAMBLE):]
-        return [int(value > threshold) for value in payload]
+        means = self._bit_means(start, total_bits, bit_period, sink=sink)
+        return slice_bits(means, n_payload_bits)
+
+    def decode_trace(self, trace: Trace, n_payload_bits: int) -> List[int]:
+        """See :func:`decode_frame` (kept for API symmetry)."""
+        return decode_frame(trace, n_payload_bits)
 
 
 class CovertChannel:
@@ -156,24 +231,46 @@ class CovertChannel:
         soc: Optional[Soc] = None,
         sender: Optional[PowerCovertSender] = None,
         seed: Optional[int] = 0,
+        session=None,
+        board=None,
     ):
-        self.soc = soc if soc is not None else Soc("ZCU102", seed=seed)
+        from repro.session import resolve_session
+
+        self.session = resolve_session(
+            session, soc=soc, board=board, seed=seed
+        )
         self.sender = sender if sender is not None else PowerCovertSender()
-        self.receiver = PowerCovertReceiver(HwmonSampler(self.soc, seed=seed))
+        self.receiver = PowerCovertReceiver(self.session.sampler)
         self._clock = 1.0
 
+    @property
+    def soc(self) -> Soc:
+        return self.session.soc
+
     def transmit(
-        self, bits: Sequence[int], bit_period: float = 0.08
+        self,
+        bits: Sequence[int],
+        bit_period: float = 0.08,
+        sink: Optional[Callable[[Trace], None]] = None,
     ) -> ChannelReport:
-        """Send ``bits`` across the boundary and report the outcome."""
+        """Send ``bits`` across the boundary and report the outcome.
+
+        ``sink`` receives each raw receiver chunk as it is captured —
+        wire it to a :class:`~repro.core.io.TraceArchiveWriter` to
+        archive the frame for later replay.
+        """
         bits = tuple(1 if bit else 0 for bit in bits)
         start = self._clock
         frame_seconds = (len(PREAMBLE) + len(bits)) * bit_period
         self._clock += frame_seconds + 1.0
         timeline = self.sender.modulate(bits, bit_period, start=start)
         self.soc.replace_workload("fpga", "covert-sender", timeline)
-        received = self.receiver.demodulate(start, len(bits), bit_period)
-        self.soc.detach_workload("fpga", "covert-sender")
+        try:
+            received = self.receiver.demodulate(
+                start, len(bits), bit_period, sink=sink
+            )
+        finally:
+            self.soc.detach_workload("fpga", "covert-sender")
         return ChannelReport(
             sent=bits, received=tuple(received), bit_period=bit_period
         )

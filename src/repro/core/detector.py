@@ -11,7 +11,7 @@ trigger, plus helpers to segment a trace into active episodes.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -148,6 +148,33 @@ class OnsetDetector:
         if not found:
             return False, float("nan")
         return True, float(trace.times[found[0].start])
+
+    def scan_for_onset(
+        self,
+        chunks: Iterable[Trace],
+        baseline: Optional[Tuple[float, float]] = None,
+    ) -> Tuple[bool, float]:
+        """Watch a chunked stream for the first victim onset.
+
+        Consumes bounded :class:`Trace` chunks (e.g. from
+        :meth:`repro.core.sampler.HwmonSampler.stream`) one at a time,
+        so a stakeout holds only the current chunk in memory.  Without
+        an explicit ``baseline`` the first chunk calibrates the idle
+        level, exactly as a real stakeout measures idle once before
+        watching; iteration stops at the first detected onset.
+
+        Returns ``(found, onset_time)``; ``(False, nan)`` when the
+        stream ends without activity.
+        """
+        for chunk in chunks:
+            if baseline is None:
+                baseline = self.estimate_baseline(
+                    np.asarray(chunk.values, dtype=np.float64)
+                )
+            found, onset = self.detect_onset(chunk, baseline=baseline)
+            if found:
+                return True, onset
+        return False, float("nan")
 
     def trim_to_activity(self, trace: Trace) -> Trace:
         """The sub-trace spanning first to last detected activity.

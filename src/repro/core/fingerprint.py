@@ -1,27 +1,36 @@
 """DNN model fingerprinting on the DPU (paper §IV-B, Fig 3, Table III).
 
-Two phases, as in the paper:
+Two phases, as in the paper — and two *planes* in this library:
 
-* **Offline preparation** — for every victim architecture, trigger
-  serving runs on the (encrypted) DPU and record hwmon traces from
-  each sensor channel; train one random-forest classifier per channel.
-* **Online classification** — record a trace of the black-box victim
-  through the same channel and ask the matching classifier which of
-  the 39 architectures produced it.
+* **Acquisition plane** (:class:`DnnFingerprinter`) — for every victim
+  architecture, trigger serving runs on the (encrypted) DPU and record
+  hwmon traces from each sensor channel, optionally streaming them to
+  a trace archive as they are captured.
+* **Analysis plane** (:class:`FingerprintAnalyzer`) — train one
+  random-forest classifier per channel and run the evaluation grids.
+  The analyzer never touches a SoC: it consumes labeled
+  :class:`~repro.core.traces.TraceSet`s from memory or from a trace
+  archive on disk, so the heavy work can run on a different machine
+  than the recording (the paper's collect-once / analyze-anywhere
+  workflow).
 
 The evaluation protocol is 10-fold cross-validation over the labeled
 trace sets, scored as top-1/top-5 accuracy for each channel and each
-trace duration (1 s .. 5 s), which regenerates Table III.
+trace duration (1 s .. 5 s), which regenerates Table III.  A recorded
+archive replayed through the analyzer reproduces the in-process
+accuracies bit-exactly.
 """
 
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core.io import TraceArchiveReader, TraceArchiveWriter
 from repro.core.sampler import HwmonSampler
 from repro.core.traces import Trace, TraceSet
 from repro.dpu.models import ModelSpec, build_model, list_models
@@ -84,11 +93,27 @@ class FingerprintConfig:
     def __post_init__(self):
         if self.duration <= 0:
             raise ValueError("duration must be > 0")
-        if self.traces_per_model < self.n_folds // 5 + 1:
-            # Each class must appear in multiple folds for stratified CV.
-            pass
         if self.traces_per_model < 2:
             raise ValueError("need at least two traces per model")
+
+    def to_dict(self) -> Dict[str, Union[int, float]]:
+        """JSON-safe form for archive manifests."""
+        return {
+            "duration": self.duration,
+            "traces_per_model": self.traces_per_model,
+            "n_features": self.n_features,
+            "n_folds": self.n_folds,
+            "forest_trees": self.forest_trees,
+            "forest_depth": self.forest_depth,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "FingerprintConfig":
+        """Rebuild a config stored by :meth:`to_dict`."""
+        known = {
+            key: data[key] for key in cls.__dataclass_fields__ if key in data
+        }
+        return cls(**known)
 
 
 #: A faster-but-faithful configuration for CI-style runs: fewer trees
@@ -98,11 +123,21 @@ FAST_CONFIG = FingerprintConfig(
 )
 
 
-class DnnFingerprinter:
-    """Mounts the fingerprinting attack end to end on a simulated SoC.
+class FingerprintAnalyzer:
+    """The offline half of the attack: training and evaluation only.
+
+    Consumes labeled trace sets — from a live collection or from a
+    trace archive — and runs forests/CV over them.  Never constructs a
+    SoC, so it runs on the attacker's analysis machine with nothing
+    but the archived dataset.
 
     Args:
-        soc / runner / sampler / config / seed: as before.
+        config: experiment knobs (must match the recording for Table
+            III geometry; :meth:`from_archive` restores them from the
+            manifest).
+        seed: keys forest fitting and CV splits; the same seed as the
+            recording session reproduces in-process accuracies
+            bit-exactly.
         workers: default worker count for the evaluation stages
             (``None`` honors ``AMPEREBLEED_WORKERS``, falling back to
             serial; per-call ``workers=`` arguments override it).  The
@@ -112,112 +147,48 @@ class DnnFingerprinter:
 
     def __init__(
         self,
-        soc: Optional[Soc] = None,
-        runner: Optional[DpuRunner] = None,
-        sampler: Optional[HwmonSampler] = None,
-        config: FingerprintConfig = None,
+        config: Optional[FingerprintConfig] = None,
         seed: Optional[int] = 0,
         workers: Optional[int] = None,
     ):
-        self.soc = soc if soc is not None else Soc("ZCU102", seed=seed)
-        self.runner = runner if runner is not None else DpuRunner()
-        self.sampler = (
-            sampler
-            if sampler is not None
-            else HwmonSampler(self.soc, seed=seed)
-        )
         self.config = config if config is not None else FingerprintConfig()
         self.seed = seed
         self.workers = workers
-        self._clock = 1.0  # virtual experiment time, advanced per run
-        self._clock_lock = threading.Lock()
-        self._run_lock = threading.Lock()
         # (dataset id, duration, width) -> (dataset ref, X, y); the
         # strong dataset reference keeps the id() key from being
         # recycled while the entry lives.
         self._feature_cache: Dict[Tuple, Tuple] = {}
 
+    @classmethod
+    def from_archive(
+        cls,
+        archive: Union[str, Path, TraceArchiveReader],
+        workers: Optional[int] = None,
+        config: Optional[FingerprintConfig] = None,
+        seed: Optional[int] = None,
+    ) -> Tuple["FingerprintAnalyzer", Dict[Tuple[str, str], TraceSet]]:
+        """Open a recorded dataset and the analyzer that evaluates it.
+
+        The archive manifest carries the recording's fingerprint
+        configuration and seed; explicit ``config``/``seed`` arguments
+        override them (e.g. to re-evaluate one dataset under many
+        analysis settings — train-many-from-one-dataset).
+
+        Returns ``(analyzer, datasets)`` with datasets keyed by
+        ``(domain, quantity)``.
+        """
+        if not isinstance(archive, TraceArchiveReader):
+            archive = TraceArchiveReader(archive)
+        meta = archive.meta
+        if config is None and "config" in meta:
+            config = FingerprintConfig.from_dict(meta["config"])
+        if seed is None:
+            seed = meta.get("seed", 0)
+        analyzer = cls(config=config, seed=seed, workers=workers)
+        return analyzer, archive.load_datasets()
+
     def _workers(self, workers: Optional[int]) -> Optional[int]:
         return self.workers if workers is None else workers
-
-    # ---------------------------------------------------- collection
-
-    def _next_window(self) -> float:
-        """Reserve a fresh time window for one victim run.
-
-        Atomic: concurrent ``record_run`` callers always receive
-        disjoint windows.
-        """
-        with self._clock_lock:
-            start = self._clock
-            guard = 4 * self.soc.device("fpga").update_period
-            self._clock += self.config.duration + 0.3 + guard
-            return start
-
-    def record_run(
-        self,
-        model: ModelSpec,
-        channels: Sequence[Tuple[str, str]] = TABLE3_CHANNELS,
-        run_index: int = 0,
-    ) -> Dict[Tuple[str, str], Trace]:
-        """Run one victim serving session and record every channel.
-
-        The victim runs once; all requested sensors observe the same
-        physical window (they are independent INA226 devices polling
-        the same activity), exactly as concurrent sampling threads on
-        the real board would see it.  The channels are recorded through
-        the batched acquisition path: one conversion pass per physical
-        sensor instead of one per channel.
-        """
-        start = self._next_window()
-        run_seed = derive_seed(self.seed, f"run-{model.name}-{run_index}")
-        # Deploy/sample/undeploy share the SoC's rail state; serialize
-        # them so concurrent record_run calls cannot interleave
-        # another victim's workload into this run's window.
-        with self._run_lock:
-            self.runner.deploy(
-                self.soc,
-                model,
-                duration=self.config.duration + 0.3,
-                seed=run_seed,
-                start=start,
-            )
-            try:
-                traces = self.sampler.collect_many(
-                    channels,
-                    start=start,
-                    duration=self.config.duration,
-                    label=model.name,
-                )
-            finally:
-                self.runner.undeploy(self.soc)
-        return traces
-
-    def collect_datasets(
-        self,
-        models: Optional[Iterable[str]] = None,
-        channels: Sequence[Tuple[str, str]] = TABLE3_CHANNELS,
-        traces_per_model: Optional[int] = None,
-    ) -> Dict[Tuple[str, str], TraceSet]:
-        """Offline phase: labeled trace sets for every channel."""
-        if models is None:
-            models = list_models()
-        if traces_per_model is None:
-            traces_per_model = self.config.traces_per_model
-        datasets: Dict[Tuple[str, str], TraceSet] = {
-            channel: TraceSet() for channel in channels
-        }
-        for name in models:
-            model = build_model(name)
-            for repetition in range(traces_per_model):
-                run = self.record_run(
-                    model, channels=channels, run_index=repetition
-                )
-                for channel, trace in run.items():
-                    datasets[channel].add(trace)
-        return datasets
-
-    # ---------------------------------------------------- evaluation
 
     def _forest_factory(self):
         fit_seed = derive_seed(self.seed, "forest")
@@ -415,3 +386,205 @@ class DnnFingerprinter:
             trace.values, self.config.n_features
         )[np.newaxis, :]
         return [str(name) for name in classifier.predict_topk(features, k)[0]]
+
+
+class DnnFingerprinter:
+    """Mounts the fingerprinting attack end to end on one session.
+
+    Owns the acquisition plane (victim serving runs + trace recording
+    on an :class:`~repro.session.AttackSession`) and delegates every
+    evaluation call to an embedded :class:`FingerprintAnalyzer`, so
+    the in-process workflow keeps its one-object API while the
+    two-machine workflow records with this class and analyzes with the
+    analyzer alone.
+
+    Args:
+        soc / runner / sampler / config / seed: as before; ``session``
+            supersedes ``soc``/``sampler`` (they remain for
+            compatibility and must belong to the session if both are
+            given).
+        workers: default worker count for the evaluation stages.
+    """
+
+    def __init__(
+        self,
+        soc: Optional[Soc] = None,
+        runner: Optional[DpuRunner] = None,
+        sampler: Optional[HwmonSampler] = None,
+        config: FingerprintConfig = None,
+        seed: Optional[int] = 0,
+        workers: Optional[int] = None,
+        session=None,
+        board=None,
+    ):
+        from repro.session import resolve_session
+
+        self.session = resolve_session(
+            session, soc=soc, sampler=sampler, board=board, seed=seed
+        )
+        self.runner = runner if runner is not None else DpuRunner()
+        self.analyzer = FingerprintAnalyzer(
+            config=config, seed=self.session.seed, workers=workers
+        )
+        self._clock = 1.0  # virtual experiment time, advanced per run
+        self._clock_lock = threading.Lock()
+        self._run_lock = threading.Lock()
+
+    # Acquisition state lives on the session; analysis knobs on the
+    # analyzer.  These properties keep the original one-object API.
+
+    @property
+    def soc(self) -> Soc:
+        return self.session.soc
+
+    @property
+    def sampler(self) -> HwmonSampler:
+        return self.session.sampler
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self.session.seed
+
+    @property
+    def config(self) -> FingerprintConfig:
+        return self.analyzer.config
+
+    @property
+    def workers(self) -> Optional[int]:
+        return self.analyzer.workers
+
+    # ---------------------------------------------------- collection
+
+    def _next_window(self) -> float:
+        """Reserve a fresh time window for one victim run.
+
+        Atomic: concurrent ``record_run`` callers always receive
+        disjoint windows.
+        """
+        with self._clock_lock:
+            start = self._clock
+            guard = 4 * self.soc.device("fpga").update_period
+            self._clock += self.config.duration + 0.3 + guard
+            return start
+
+    def record_run(
+        self,
+        model: ModelSpec,
+        channels: Sequence[Tuple[str, str]] = TABLE3_CHANNELS,
+        run_index: int = 0,
+    ) -> Dict[Tuple[str, str], Trace]:
+        """Run one victim serving session and record every channel.
+
+        The victim runs once; all requested sensors observe the same
+        physical window (they are independent INA226 devices polling
+        the same activity), exactly as concurrent sampling threads on
+        the real board would see it.  The channels are recorded through
+        the batched acquisition path: one conversion pass per physical
+        sensor instead of one per channel.
+        """
+        start = self._next_window()
+        run_seed = derive_seed(self.seed, f"run-{model.name}-{run_index}")
+        # Deploy/sample/undeploy share the SoC's rail state; serialize
+        # them so concurrent record_run calls cannot interleave
+        # another victim's workload into this run's window.
+        with self._run_lock:
+            self.runner.deploy(
+                self.soc,
+                model,
+                duration=self.config.duration + 0.3,
+                seed=run_seed,
+                start=start,
+            )
+            try:
+                traces = self.sampler.collect_many(
+                    channels,
+                    start=start,
+                    duration=self.config.duration,
+                    label=model.name,
+                )
+            finally:
+                self.runner.undeploy(self.soc)
+        return traces
+
+    def archive_meta(
+        self,
+        models: Sequence[str],
+        channels: Sequence[Tuple[str, str]] = TABLE3_CHANNELS,
+    ) -> Dict:
+        """Manifest metadata describing one recording session."""
+        return {
+            "experiment": "fingerprint",
+            "board": self.soc.board.name,
+            "seed": self.seed,
+            "config": self.config.to_dict(),
+            "channels": [list(channel) for channel in channels],
+            "models": list(models),
+        }
+
+    def collect_datasets(
+        self,
+        models: Optional[Iterable[str]] = None,
+        channels: Sequence[Tuple[str, str]] = TABLE3_CHANNELS,
+        traces_per_model: Optional[int] = None,
+        sink: Optional[TraceArchiveWriter] = None,
+    ) -> Dict[Tuple[str, str], TraceSet]:
+        """Offline phase: labeled trace sets for every channel.
+
+        With ``sink`` given, every recorded trace is appended to the
+        archive the moment its run completes — the recording session
+        streams to disk as it polls, and the returned in-memory
+        datasets match what :meth:`FingerprintAnalyzer.from_archive`
+        later loads, bit for bit.
+        """
+        if models is None:
+            models = list_models()
+        if traces_per_model is None:
+            traces_per_model = self.config.traces_per_model
+        datasets: Dict[Tuple[str, str], TraceSet] = {
+            channel: TraceSet() for channel in channels
+        }
+        for name in models:
+            model = build_model(name)
+            for repetition in range(traces_per_model):
+                run = self.record_run(
+                    model, channels=channels, run_index=repetition
+                )
+                for channel, trace in run.items():
+                    datasets[channel].add(trace)
+                    if sink is not None:
+                        sink.append(trace)
+        return datasets
+
+    # ------------------------------------------- delegated evaluation
+
+    def _features(self, dataset: TraceSet, duration: Optional[float]):
+        """See :meth:`FingerprintAnalyzer._features`."""
+        return self.analyzer._features(dataset, duration)
+
+    def evaluate_channel(self, *args, **kwargs) -> CrossValidationResult:
+        """See :meth:`FingerprintAnalyzer.evaluate_channel`."""
+        return self.analyzer.evaluate_channel(*args, **kwargs)
+
+    def evaluate_table3(self, *args, **kwargs):
+        """See :meth:`FingerprintAnalyzer.evaluate_table3`."""
+        return self.analyzer.evaluate_table3(*args, **kwargs)
+
+    def evaluate_fused(self, *args, **kwargs) -> CrossValidationResult:
+        """See :meth:`FingerprintAnalyzer.evaluate_fused`."""
+        return self.analyzer.evaluate_fused(*args, **kwargs)
+
+    def train(self, dataset: TraceSet) -> RandomForestClassifier:
+        """See :meth:`FingerprintAnalyzer.train`."""
+        return self.analyzer.train(dataset)
+
+    def train_all(self, *args, **kwargs):
+        """See :meth:`FingerprintAnalyzer.train_all`."""
+        return self.analyzer.train_all(*args, **kwargs)
+
+    def classify(self, classifier, trace: Trace) -> str:
+        """See :meth:`FingerprintAnalyzer.classify`."""
+        return self.analyzer.classify(classifier, trace)
+
+    def classify_topk(self, classifier, trace: Trace, k: int = 5):
+        """See :meth:`FingerprintAnalyzer.classify_topk`."""
+        return self.analyzer.classify_topk(classifier, trace, k=k)

@@ -1,33 +1,62 @@
-"""Trace persistence: save/load trace sets as ``.npz`` archives.
+"""Trace persistence: the boundary between the two attack planes.
 
-The offline fingerprinting phase is collect-once / train-many: traces
-recorded on the device get archived and shipped to the analysis
-machine.  Traces are stored in one compressed numpy archive with a
-small JSON header, so a dataset survives round trips bit-exactly
-(readings are integers; timestamps are float64).
+The offline fingerprinting phase is collect-once / analyze-anywhere:
+traces recorded on the device get archived and shipped to the analysis
+machine.  Two formats are supported:
+
+* **v1** — one compressed ``.npz`` with a JSON header and every trace
+  resident; written by :func:`save_traceset`, loaded bit-exactly by
+  :func:`load_traceset`.  Kept for existing archives.
+* **v2** — a directory archive (:class:`TraceArchiveWriter` /
+  :class:`TraceArchiveReader`): an append-only ``manifest.jsonl``
+  plus one small ``.npz`` per chunk, so a recording session can
+  stream to disk as it polls and an analysis process can replay
+  chunk-by-chunk without materializing the capture.  Long captures
+  may be split across parts (``trace_id`` + ``part``) and reassemble
+  bit-exactly on load.
+
+Readings are integers and timestamps float64; both formats round-trip
+bit-exactly.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
 from pathlib import Path
-from typing import Union
+from typing import Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
 from repro.core.traces import Trace, TraceSet
 
-#: Archive format version, bumped on layout changes.
-FORMAT_VERSION = 1
+#: Latest archive format version.
+FORMAT_VERSION = 2
+
+#: The ``.npz`` single-file format written by :func:`save_traceset`.
+V1_FORMAT_VERSION = 1
+
+#: Manifest file name inside a v2 archive directory.
+MANIFEST_NAME = "manifest.jsonl"
+
+#: Archive kind tag in the v2 manifest header.
+ARCHIVE_KIND = "amperebleed-trace-archive"
+
+
+class ArchiveError(ValueError):
+    """A trace archive is missing, corrupted, or truncated."""
+
+
+# --------------------------------------------------------------- v1 npz
 
 
 def save_traceset(traceset: TraceSet, path: Union[str, Path]) -> Path:
-    """Write a trace set to ``path`` (``.npz`` appended if missing)."""
+    """Write a trace set as a v1 ``.npz`` (appended if missing)."""
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(path.suffix + ".npz")
     header = {
-        "version": FORMAT_VERSION,
+        "version": V1_FORMAT_VERSION,
         "n_traces": len(traceset),
         "traces": [
             {
@@ -49,30 +78,346 @@ def save_traceset(traceset: TraceSet, path: Union[str, Path]) -> Path:
     return path
 
 
-def load_traceset(path: Union[str, Path]) -> TraceSet:
-    """Read a trace set written by :func:`save_traceset`."""
-    path = Path(path)
-    if not path.exists():
-        raise FileNotFoundError(f"no trace archive at {path}")
-    with np.load(path, allow_pickle=False) as archive:
+def _load_traceset_v1(path: Path) -> TraceSet:
+    """Read a v1 archive written by :func:`save_traceset`."""
+    try:
+        archive = np.load(path, allow_pickle=False)
+    except (zipfile.BadZipFile, OSError, ValueError) as error:
+        raise ArchiveError(
+            f"corrupted trace archive {path}: {error}"
+        ) from None
+    with archive:
         try:
             header_bytes = archive["header"].tobytes()
         except KeyError:
-            raise ValueError(f"{path} is not a trace archive") from None
-        header = json.loads(header_bytes.decode("utf-8"))
-        if header.get("version") != FORMAT_VERSION:
-            raise ValueError(
+            raise ArchiveError(f"{path} is not a trace archive") from None
+        try:
+            header = json.loads(header_bytes.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise ArchiveError(
+                f"corrupted trace archive header in {path}: {error}"
+            ) from None
+        if header.get("version") != V1_FORMAT_VERSION:
+            raise ArchiveError(
                 f"unsupported trace archive version {header.get('version')}"
             )
         traceset = TraceSet()
         for index, meta in enumerate(header["traces"]):
+            try:
+                times = archive[f"times_{index}"]
+                values = archive[f"values_{index}"]
+            except KeyError:
+                raise ArchiveError(
+                    f"truncated trace archive {path}: missing arrays for "
+                    f"trace {index} of {len(header['traces'])}"
+                ) from None
             traceset.add(
                 Trace(
-                    times=archive[f"times_{index}"],
-                    values=archive[f"values_{index}"],
+                    times=times,
+                    values=values,
                     domain=meta["domain"],
                     quantity=meta["quantity"],
                     label=meta["label"],
                 )
             )
     return traceset
+
+
+# --------------------------------------------------- v2 directory archive
+
+
+class TraceArchiveWriter:
+    """Append-mode writer for a v2 directory archive.
+
+    Every :meth:`append` immediately writes one chunk ``.npz`` and one
+    manifest line, so a crash mid-capture loses at most the chunk in
+    flight; :meth:`close` seals the archive with a footer line that
+    readers use to detect truncation.
+
+    Args:
+        path: archive directory (created; must not already contain a
+            manifest).
+        meta: experiment metadata stored in the manifest header —
+            e.g. the fingerprint configuration, board name, seed —
+            so the analysis plane can reproduce the recording's
+            evaluation without out-of-band knowledge.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], meta: Optional[dict] = None
+    ):
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._manifest_path = self.path / MANIFEST_NAME
+        if self._manifest_path.exists():
+            raise ArchiveError(
+                f"archive {self.path} already has a manifest; "
+                f"write to a fresh directory"
+            )
+        self.meta = dict(meta) if meta else {}
+        self._meta_updates: dict = {}
+        self._n_chunks = 0
+        self._closed = False
+        header = {
+            "kind": ARCHIVE_KIND,
+            "version": FORMAT_VERSION,
+            "meta": self.meta,
+        }
+        self._manifest = self._manifest_path.open("a", encoding="utf-8")
+        self._write_line(header)
+
+    def _write_line(self, record: dict) -> None:
+        self._manifest.write(json.dumps(record) + "\n")
+        self._manifest.flush()
+
+    def append(
+        self,
+        trace: Trace,
+        trace_id: Optional[str] = None,
+        part: int = 0,
+    ) -> str:
+        """Persist one trace chunk; returns the chunk file name.
+
+        ``trace_id``/``part`` group the chunks of one long capture:
+        chunks sharing a ``trace_id`` are concatenated in ``part``
+        order at load time.  Left unset, each append is its own
+        single-part trace.
+        """
+        if self._closed:
+            raise ArchiveError(f"archive {self.path} is already closed")
+        if not isinstance(trace, Trace):
+            raise TypeError("only Trace objects can be appended")
+        index = self._n_chunks
+        if trace_id is None:
+            trace_id = f"trace-{index:06d}"
+        file_name = f"chunk_{index:06d}.npz"
+        np.savez_compressed(
+            self.path / file_name, times=trace.times, values=trace.values
+        )
+        self._write_line(
+            {
+                "chunk": index,
+                "file": file_name,
+                "trace_id": trace_id,
+                "part": int(part),
+                "domain": trace.domain,
+                "quantity": trace.quantity,
+                "label": trace.label,
+                "n_samples": trace.n_samples,
+            }
+        )
+        self._n_chunks += 1
+        return file_name
+
+    def append_traceset(self, traceset: TraceSet) -> None:
+        """Append every trace of a set, one chunk each."""
+        for trace in traceset:
+            self.append(trace)
+
+    def update_meta(self, **updates) -> None:
+        """Record metadata only known after capture (e.g. outcomes).
+
+        The header line is already on disk when recording starts, so
+        late metadata rides the footer instead; readers merge it over
+        the header's ``meta``.
+        """
+        if self._closed:
+            raise ArchiveError(f"archive {self.path} is already closed")
+        self._meta_updates.update(updates)
+        self.meta.update(updates)
+
+    def close(self) -> None:
+        """Seal the archive with the truncation-detection footer."""
+        if self._closed:
+            return
+        footer = {"footer": True, "n_chunks": self._n_chunks}
+        if self._meta_updates:
+            footer["meta"] = self._meta_updates
+        self._write_line(footer)
+        self._manifest.close()
+        self._closed = True
+
+    def __enter__(self) -> "TraceArchiveWriter":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Seal only clean exits: an exception mid-capture must leave a
+        # visibly truncated archive, not a sealed partial one.
+        if exc_type is None:
+            self.close()
+        else:
+            self._manifest.close()
+            self._closed = True
+
+
+class TraceArchiveReader:
+    """Streaming reader for a v2 directory archive.
+
+    Args:
+        path: archive directory.
+        allow_partial: accept an unsealed (footer-less) manifest —
+            for tailing a capture still in progress.  Default strict:
+            a missing footer raises :class:`ArchiveError`.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], allow_partial: bool = False
+    ):
+        self.path = Path(path)
+        manifest_path = self.path / MANIFEST_NAME
+        if not manifest_path.exists():
+            raise ArchiveError(f"no trace archive manifest at {self.path}")
+        records = []
+        with manifest_path.open(encoding="utf-8") as handle:
+            for line_number, line in enumerate(handle, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    records.append(json.loads(line))
+                except json.JSONDecodeError as error:
+                    raise ArchiveError(
+                        f"corrupted manifest line {line_number} in "
+                        f"{manifest_path}: {error}"
+                    ) from None
+        if not records:
+            raise ArchiveError(f"empty manifest in {manifest_path}")
+        header = records[0]
+        if header.get("kind") != ARCHIVE_KIND:
+            raise ArchiveError(
+                f"{self.path} is not an AmpereBleed trace archive"
+            )
+        if header.get("version") != FORMAT_VERSION:
+            raise ArchiveError(
+                f"unsupported trace archive version {header.get('version')}"
+            )
+        self.meta: dict = header.get("meta", {})
+        footer = records[-1] if records[-1].get("footer") else None
+        if footer is not None and footer.get("meta"):
+            self.meta.update(footer["meta"])
+        self.entries = [
+            record for record in records[1:] if not record.get("footer")
+        ]
+        self.complete = footer is not None
+        if not allow_partial:
+            if footer is None:
+                raise ArchiveError(
+                    f"truncated trace archive {self.path}: the recording "
+                    f"session never sealed it (manifest footer missing)"
+                )
+            if footer.get("n_chunks") != len(self.entries):
+                raise ArchiveError(
+                    f"truncated trace archive {self.path}: footer claims "
+                    f"{footer.get('n_chunks')} chunks, manifest lists "
+                    f"{len(self.entries)}"
+                )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def _read_chunk(self, entry: dict) -> Trace:
+        chunk_path = self.path / entry["file"]
+        if not chunk_path.exists():
+            raise ArchiveError(
+                f"truncated trace archive {self.path}: chunk file "
+                f"{entry['file']} is missing"
+            )
+        try:
+            with np.load(chunk_path, allow_pickle=False) as arrays:
+                times = arrays["times"]
+                values = arrays["values"]
+        except (zipfile.BadZipFile, OSError, ValueError, KeyError) as error:
+            raise ArchiveError(
+                f"corrupted chunk {entry['file']} in {self.path}: {error}"
+            ) from None
+        return Trace(
+            times=times,
+            values=values,
+            domain=entry["domain"],
+            quantity=entry["quantity"],
+            label=entry.get("label"),
+        )
+
+    def iter_chunks(self) -> Iterator[Trace]:
+        """Yield chunks in recorded order, one resident at a time.
+
+        This is the replay analogue of a live :class:`~repro.core.
+        sampler.TraceStream`: detector and covert pipelines consume it
+        without reassembling whole captures.
+        """
+        for entry in self.entries:
+            yield self._read_chunk(entry)
+
+    def load_traceset(self) -> TraceSet:
+        """Reassemble every trace (multi-part captures concatenated)."""
+        order = []
+        parts: Dict[str, list] = {}
+        for entry in self.entries:
+            trace_id = entry["trace_id"]
+            if trace_id not in parts:
+                parts[trace_id] = []
+                order.append(trace_id)
+            parts[trace_id].append(entry)
+        traceset = TraceSet()
+        for trace_id in order:
+            group = sorted(parts[trace_id], key=lambda entry: entry["part"])
+            chunks = [self._read_chunk(entry) for entry in group]
+            if len(chunks) == 1:
+                traceset.add(chunks[0])
+                continue
+            first = chunks[0]
+            traceset.add(
+                Trace(
+                    times=np.concatenate([c.times for c in chunks]),
+                    values=np.concatenate([c.values for c in chunks]),
+                    domain=first.domain,
+                    quantity=first.quantity,
+                    label=first.label,
+                )
+            )
+        return traceset
+
+    def load_datasets(self) -> Dict[Tuple[str, str], TraceSet]:
+        """Per-channel trace sets, keyed ``(domain, quantity)``.
+
+        This is the shape the fingerprint evaluation consumes —
+        loading an archive recorded by the acquisition plane drops
+        straight into ``evaluate_channel`` / ``evaluate_table3``.
+        """
+        datasets: Dict[Tuple[str, str], TraceSet] = {}
+        for trace in self.load_traceset():
+            key = (trace.domain, trace.quantity)
+            datasets.setdefault(key, TraceSet()).add(trace)
+        return datasets
+
+
+def is_archive_dir(path: Union[str, Path]) -> bool:
+    """Does ``path`` look like a v2 directory archive?"""
+    path = Path(path)
+    return path.is_dir() and (path / MANIFEST_NAME).exists()
+
+
+def open_archive(
+    path: Union[str, Path], allow_partial: bool = False
+) -> TraceArchiveReader:
+    """Open a v2 archive for streaming reads."""
+    return TraceArchiveReader(path, allow_partial=allow_partial)
+
+
+def load_traceset(path: Union[str, Path]) -> TraceSet:
+    """Read a trace set from either archive format.
+
+    v1 ``.npz`` files load bit-exactly as before; v2 directories are
+    reassembled through :class:`TraceArchiveReader`.
+    """
+    path = Path(path)
+    if is_archive_dir(path):
+        return TraceArchiveReader(path).load_traceset()
+    if not path.exists():
+        raise FileNotFoundError(f"no trace archive at {path}")
+    if path.is_dir():
+        raise ArchiveError(
+            f"{path} is a directory without a {MANIFEST_NAME}; "
+            f"not a trace archive"
+        )
+    return _load_traceset_v1(path)

@@ -68,12 +68,17 @@ def generate_report(
     rsa_samples: int = 6000,
     fingerprint_models: Optional[List[str]] = None,
     path: Optional[Union[str, Path]] = None,
+    board: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> str:
     """Run the compact evaluation and render the markdown report.
 
     Returns the markdown text; also writes it when ``path`` is given.
     The compact scale keeps the whole run in the ~1 minute range while
-    hitting every headline number's band.
+    hitting every headline number's band.  ``board`` selects the
+    Table I platform (default ZCU102); ``workers`` caps the
+    fingerprinting evaluation pool (the report is bit-identical at any
+    worker count).
     """
     require_int_in_range(samples_per_level, 10, 1_000_000,
                          "samples_per_level")
@@ -81,14 +86,20 @@ def generate_report(
     from repro.core.characterize import characterize
     from repro.core.fingerprint import DnnFingerprinter, FingerprintConfig
     from repro.core.rsa_attack import RsaHammingWeightAttack
+    from repro.boards.catalog import get_board
+    from repro.session import AttackSession, DEFAULT_BOARD
 
+    board = DEFAULT_BOARD if board is None else board
     report = ReportBuilder("AmpereBleed reproduction — compact evaluation")
     report.paragraph(
-        f"Seed {seed}; reduced scale (see EXPERIMENTS.md for full runs)."
+        f"Board {get_board(board).name}; seed {seed}; reduced scale "
+        f"(see EXPERIMENTS.md for full runs)."
     )
 
     # Fig 2.
-    sweep = characterize(samples_per_level=samples_per_level, seed=seed)
+    sweep = characterize(
+        samples_per_level=samples_per_level, seed=seed, board=board
+    )
     report.section("Fig 2 — channel characterization")
     report.table(
         ("channel", "pearson", "LSB/step", "paper"),
@@ -117,7 +128,10 @@ def generate_report(
     config = FingerprintConfig(
         duration=5.0, traces_per_model=8, n_folds=4, forest_trees=20
     )
-    fingerprinter = DnnFingerprinter(config=config, seed=seed)
+    fingerprint_session = AttackSession.create(board=board, seed=seed)
+    fingerprinter = DnnFingerprinter(
+        session=fingerprint_session, config=config, workers=workers
+    )
     datasets = fingerprinter.collect_datasets(
         models=fingerprint_models,
         channels=[("fpga", "current"), ("fpga", "voltage")],
@@ -133,7 +147,7 @@ def generate_report(
     report.table(("channel", "top-1", "top-5"), rows)
 
     # Fig 4.
-    attack = RsaHammingWeightAttack(seed=seed)
+    attack = RsaHammingWeightAttack(seed=seed, board=board)
     current = attack.sweep(n_samples=rsa_samples)
     power = attack.sweep(quantity="power", n_samples=rsa_samples)
     report.section("Fig 4 — RSA Hamming weight")

@@ -9,6 +9,13 @@ module is active only on 1-bits, the rail's mean power — hence current
 resolution separates all 17 test keys while the 25 mW power resolution
 collapses them into ~5 groups.
 
+Like the fingerprinting attack, this one is split across the two
+planes: :meth:`RsaHammingWeightAttack.collect_sweep` records labeled
+traces on the device (optionally streaming them to an archive), and
+:func:`sweep_from_traces` turns a trace set — fresh or loaded from
+disk — into the Fig 4 distributions.  ``sweep()`` composes the two
+for the classic in-process run.
+
 Knowing the Hamming weight shrinks the brute-force key space and seeds
 statistical key-recovery attacks (the paper cites Sarkar & Maitra).
 """
@@ -16,7 +23,7 @@ statistical key-recovery attacks (the paper cites Sarkar & Maitra).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -26,7 +33,9 @@ from repro.analysis.distributions import (
     summarize,
 )
 from repro.analysis.stats import LinearFit, linear_fit
+from repro.core.io import TraceArchiveWriter
 from repro.core.sampler import HwmonSampler
+from repro.core.traces import Trace, TraceSet
 from repro.crypto.rsa_math import (
     PAPER_HAMMING_WEIGHTS,
     make_exponent_with_weight,
@@ -34,11 +43,13 @@ from repro.crypto.rsa_math import (
 )
 from repro.fpga.rsa import RsaCircuit
 from repro.soc.soc import Soc
-from repro.utils.rng import derive_seed
 from repro.utils.validation import require_int_in_range, require_positive
 
 #: Channel LSB in hwmon units, for grouping analysis.
 GROUP_GAP = {"current": 1.0, "power": 25_000.0}
+
+#: Trace label prefix identifying one test key's Hamming weight.
+WEIGHT_LABEL_PREFIX = "hw-"
 
 
 @dataclass(frozen=True)
@@ -85,15 +96,63 @@ class WeightSweepResult:
         return linear_fit(self.weights, self.medians)
 
 
+def weight_from_label(label: Optional[str]) -> int:
+    """Parse the Hamming weight from an archived trace label."""
+    if label is None or not label.startswith(WEIGHT_LABEL_PREFIX):
+        raise ValueError(
+            f"trace label {label!r} does not carry a Hamming weight "
+            f"(expected '{WEIGHT_LABEL_PREFIX}<n>')"
+        )
+    return int(label[len(WEIGHT_LABEL_PREFIX):])
+
+
+def profile_from_trace(trace: Trace) -> KeyProfile:
+    """The per-key reading distribution behind one recorded trace."""
+    return KeyProfile(
+        weight=weight_from_label(trace.label),
+        quantity=trace.quantity,
+        values=np.asarray(trace.values, dtype=np.float64),
+    )
+
+
+def sweep_from_traces(
+    traces: TraceSet, quantity: Optional[str] = None
+) -> WeightSweepResult:
+    """Analysis plane: rebuild Fig 4 from recorded key traces.
+
+    ``traces`` may come straight from :meth:`RsaHammingWeightAttack.
+    collect_sweep` or from a trace archive; the result is bit-identical
+    either way.  ``quantity`` filters a mixed-channel set (e.g. an
+    archive holding both the current and power sweeps).
+    """
+    if quantity is not None:
+        traces = traces.filter(quantity=quantity)
+    if len(traces) == 0:
+        raise ValueError("no traces to analyze (wrong quantity filter?)")
+    quantities = {trace.quantity for trace in traces}
+    if len(quantities) > 1:
+        raise ValueError(
+            f"mixed quantities {sorted(quantities)}; pass quantity= to "
+            f"select one sweep"
+        )
+    profiles = tuple(profile_from_trace(trace) for trace in traces)
+    return WeightSweepResult(
+        quantity=quantities.pop(), profiles=profiles
+    )
+
+
 class RsaHammingWeightAttack:
     """Mounts the Fig 4 experiment on a simulated SoC.
 
     Args:
-        soc: the platform (default: seeded ZCU102).
-        sampler: the polling loop (default: fresh unprivileged sampler).
+        soc: the platform (default: the session's seeded board).
+        sampler: the polling loop (default: the session's sampler).
         sampling_hz: poll rate (paper: 1 kHz — far above the 35 ms
             sensor refresh, so readings repeat in runs of ~35).
         seed: keys key construction and the victim's plaintext.
+        session: acquisition session superseding ``soc``/``sampler``.
+        board: board name when no session/soc is given (Table I
+            catalog; default ZCU102).
     """
 
     def __init__(
@@ -102,30 +161,46 @@ class RsaHammingWeightAttack:
         sampler: Optional[HwmonSampler] = None,
         sampling_hz: float = 1000.0,
         seed: Optional[int] = 0,
+        session=None,
+        board=None,
     ):
-        self.soc = soc if soc is not None else Soc("ZCU102", seed=seed)
-        self.sampler = (
-            sampler
-            if sampler is not None
-            else HwmonSampler(self.soc, seed=seed)
+        from repro.session import resolve_session
+
+        self.session = resolve_session(
+            session, soc=soc, sampler=sampler, board=board, seed=seed
         )
         self.sampling_hz = require_positive(sampling_hz, "sampling_hz")
-        self.seed = seed
-        self.modulus = random_modulus(seed=seed)
+        self.modulus = random_modulus(seed=self.seed)
         self._clock = 1.0
+
+    @property
+    def soc(self) -> Soc:
+        return self.session.soc
+
+    @property
+    def sampler(self) -> HwmonSampler:
+        return self.session.sampler
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self.session.seed
 
     def make_circuit(self, weight: int) -> RsaCircuit:
         """The victim circuit for one Hamming-weight test key."""
         exponent = make_exponent_with_weight(weight, seed=self.seed)
         return RsaCircuit(exponent, self.modulus)
 
-    def profile_key(
+    def record_key(
         self,
         circuit: RsaCircuit,
         quantity: str = "current",
         n_samples: int = 35_000,
-    ) -> KeyProfile:
-        """Record ``n_samples`` polls while ``circuit`` loops encryptions."""
+    ) -> Trace:
+        """Acquisition plane: one key's polling session as a raw trace.
+
+        The trace label encodes the ground-truth Hamming weight
+        (``hw-<n>``), which is what the analysis plane keys on.
+        """
         n_samples = require_int_in_range(
             n_samples, 10, 100_000_000, "n_samples"
         )
@@ -134,20 +209,71 @@ class RsaHammingWeightAttack:
         self.soc.replace_workload(
             "fpga", "rsa", circuit.timeline(start=start)
         )
-        trace = self.sampler.collect(
-            "fpga",
-            quantity,
-            start=start,
-            n_samples=n_samples,
-            poll_hz=self.sampling_hz,
-            label=f"hw-{circuit.hamming_weight}",
+        try:
+            trace = self.sampler.collect(
+                "fpga",
+                quantity,
+                start=start,
+                n_samples=n_samples,
+                poll_hz=self.sampling_hz,
+                label=f"{WEIGHT_LABEL_PREFIX}{circuit.hamming_weight}",
+            )
+        finally:
+            self.soc.detach_workload("fpga", "rsa")
+        return trace
+
+    def profile_key(
+        self,
+        circuit: RsaCircuit,
+        quantity: str = "current",
+        n_samples: int = 35_000,
+    ) -> KeyProfile:
+        """Record ``n_samples`` polls while ``circuit`` loops encryptions."""
+        return profile_from_trace(
+            self.record_key(circuit, quantity=quantity, n_samples=n_samples)
         )
-        self.soc.detach_workload("fpga", "rsa")
-        return KeyProfile(
-            weight=circuit.hamming_weight,
-            quantity=quantity,
-            values=np.asarray(trace.values, dtype=np.float64),
-        )
+
+    def archive_meta(
+        self,
+        weights: Sequence[int] = PAPER_HAMMING_WEIGHTS,
+        quantity: str = "current",
+        n_samples: int = 35_000,
+    ) -> dict:
+        """Manifest metadata describing one sweep recording."""
+        return {
+            "experiment": "rsa",
+            "board": self.soc.board.name,
+            "seed": self.seed,
+            "sampling_hz": self.sampling_hz,
+            "quantity": quantity,
+            "n_samples": n_samples,
+            "weights": [int(weight) for weight in weights],
+        }
+
+    def collect_sweep(
+        self,
+        weights: Sequence[int] = PAPER_HAMMING_WEIGHTS,
+        quantity: str = "current",
+        n_samples: int = 35_000,
+        sink: Optional[TraceArchiveWriter] = None,
+    ) -> TraceSet:
+        """Acquisition plane: record every test key's trace.
+
+        With ``sink`` given each key's trace is appended to the archive
+        as soon as its session ends, so the device never holds more
+        than one key's readings plus what is already safely on disk.
+        """
+        traces = TraceSet()
+        for weight in weights:
+            trace = self.record_key(
+                self.make_circuit(weight),
+                quantity=quantity,
+                n_samples=n_samples,
+            )
+            traces.add(trace)
+            if sink is not None:
+                sink.append(trace)
+        return traces
 
     def sweep(
         self,
@@ -156,15 +282,11 @@ class RsaHammingWeightAttack:
         n_samples: int = 35_000,
     ) -> WeightSweepResult:
         """Profile every test key on one channel (one Fig 4 panel)."""
-        profiles = tuple(
-            self.profile_key(
-                self.make_circuit(weight),
-                quantity=quantity,
-                n_samples=n_samples,
+        return sweep_from_traces(
+            self.collect_sweep(
+                weights=weights, quantity=quantity, n_samples=n_samples
             )
-            for weight in weights
         )
-        return WeightSweepResult(quantity=quantity, profiles=profiles)
 
     def infer_weight(
         self, values: np.ndarray, calibration: LinearFit

@@ -19,7 +19,7 @@ Two real-world effects shape the resulting trace and are modeled here:
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Iterator, Optional
 
 import numpy as np
 
@@ -31,6 +31,108 @@ from repro.utils.validation import (
     require_non_negative,
     require_positive,
 )
+
+
+class TraceStream:
+    """A bounded-memory polling session, yielded as :class:`Trace` chunks.
+
+    Iterating produces consecutive chunks of at most ``chunk_samples``
+    polls each; concatenating every chunk's times/values is
+    **bit-identical** to one :meth:`HwmonSampler.collect` call over the
+    whole session.  That equality holds because
+
+    * poll jitter is drawn chunk-by-chunk from the *same* generator a
+      one-shot collect would use (numpy's normal stream is invariant
+      under draw batching), and
+    * the monotonic-clock clamp carries its running maximum across
+      chunk boundaries.
+
+    Only one chunk is resident at a time, so a stakeout loop or a
+    long recording session uses memory proportional to the chunk size,
+    not the session length; :attr:`max_resident_samples` records the
+    high-water mark for tests and capacity planning.
+    """
+
+    def __init__(
+        self,
+        sampler: "HwmonSampler",
+        domain: str,
+        quantity: str,
+        start: float,
+        n_samples: int,
+        poll_hz: float,
+        chunk_samples: int,
+        label: Optional[str] = None,
+    ):
+        self.sampler = sampler
+        self.domain = domain
+        self.quantity = quantity
+        # Keep the caller's start value verbatim: the jitter stream is
+        # keyed by its repr, exactly as poll_times() keys a one-shot
+        # collect for the same session.
+        self.start = start
+        self.n_samples = require_int_in_range(
+            n_samples, 1, 100_000_000, "n_samples"
+        )
+        self.poll_hz = require_positive(poll_hz, "poll_hz")
+        self.chunk_samples = require_int_in_range(
+            chunk_samples, 1, 100_000_000, "chunk_samples"
+        )
+        self.label = label
+        self._emitted = 0
+        self._running_max = -np.inf
+        self._rng = (
+            spawn(
+                sampler._seed,
+                f"sampler-{domain}-{quantity}-{start!r}",
+            )
+            if sampler.poll_jitter > 0.0
+            else None
+        )
+        #: Largest chunk materialized so far (samples) — the stream's
+        #: peak resident trace buffer.
+        self.max_resident_samples = 0
+
+    @property
+    def samples_remaining(self) -> int:
+        """Polls not yet emitted."""
+        return self.n_samples - self._emitted
+
+    def __iter__(self) -> Iterator[Trace]:
+        return self
+
+    def __next__(self) -> Trace:
+        if self._emitted >= self.n_samples:
+            raise StopIteration
+        count = min(self.chunk_samples, self.n_samples - self._emitted)
+        index = np.arange(self._emitted, self._emitted + count)
+        times = self.start + index / self.poll_hz
+        if self._rng is not None:
+            times = times + (
+                self.sampler.poll_jitter * self._rng.standard_normal(count)
+            )
+            # Monotonic clamp with the running max carried across
+            # chunks — exactly np.maximum.accumulate over the session.
+            times = np.maximum.accumulate(times)
+            times = np.maximum(times, self._running_max)
+            self._running_max = float(times[-1])
+        values = self.sampler.soc.sample(self.domain, self.quantity, times)
+        self._emitted += count
+        self.max_resident_samples = max(self.max_resident_samples, count)
+        return Trace(
+            times=times,
+            values=values,
+            domain=self.domain,
+            quantity=self.quantity,
+            label=self.label,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceStream({self.domain}/{self.quantity}, "
+            f"{self._emitted}/{self.n_samples} samples emitted, "
+            f"chunk={self.chunk_samples})"
+        )
 
 
 class HwmonSampler:
@@ -112,6 +214,57 @@ class HwmonSampler:
             values=values,
             domain=domain,
             quantity=quantity,
+            label=label,
+        )
+
+    def stream(
+        self,
+        domain: str,
+        quantity: str,
+        start: float = 0.0,
+        duration: Optional[float] = None,
+        n_samples: Optional[int] = None,
+        poll_hz: Optional[float] = None,
+        chunk_samples: Optional[int] = None,
+        chunk_duration: Optional[float] = None,
+        label: Optional[str] = None,
+    ) -> TraceStream:
+        """Open a chunked recording session on one hwmon channel.
+
+        Like :meth:`collect`, but the session is consumed as an
+        iterator of bounded :class:`Trace` chunks instead of one
+        resident array — the shape of a real long-running capture
+        loop that flushes to disk as it polls.  Concatenating the
+        chunks reproduces the one-shot :meth:`collect` trace
+        bit-exactly.
+
+        The chunk size is given as ``chunk_samples`` or
+        ``chunk_duration`` (seconds); unspecified, chunks cover one
+        second of polling.
+        """
+        if poll_hz is None:
+            poll_hz = self.default_poll_hz(domain)
+        if (duration is None) == (n_samples is None):
+            raise ValueError("specify exactly one of duration or n_samples")
+        if n_samples is None:
+            require_positive(duration, "duration")
+            n_samples = max(1, int(round(duration * poll_hz)))
+        if chunk_samples is not None and chunk_duration is not None:
+            raise ValueError(
+                "specify at most one of chunk_samples or chunk_duration"
+            )
+        if chunk_samples is None:
+            window = 1.0 if chunk_duration is None else chunk_duration
+            require_positive(window, "chunk_duration")
+            chunk_samples = max(1, int(round(window * poll_hz)))
+        return TraceStream(
+            self,
+            domain,
+            quantity,
+            start=start,
+            n_samples=n_samples,
+            poll_hz=poll_hz,
+            chunk_samples=chunk_samples,
             label=label,
         )
 

@@ -24,7 +24,7 @@ against the first-principles model.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 from repro.dpu.dpu import DpuConfig
 from repro.dpu.layers import LayerSpec

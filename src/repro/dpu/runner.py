@@ -25,11 +25,11 @@ runner builds those traces:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 import numpy as np
 
-from repro.dpu.dpu import DpuConfig, DpuCore
+from repro.dpu.dpu import DpuCore
 from repro.dpu.models import ModelSpec
 from repro.soc.workload import ActivityTimeline, PiecewiseActivity
 from repro.utils.rng import RngLike, spawn

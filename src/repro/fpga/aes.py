@@ -17,12 +17,10 @@ current channel, delimiting what AmpereBleed can and cannot reach.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
-
-import numpy as np
+from typing import List, Tuple
 
 from repro.fpga.fabric import CircuitSpec
-from repro.soc.workload import ActivityTimeline, PiecewiseActivity
+from repro.soc.workload import ActivityTimeline
 from repro.utils.rng import RngLike, spawn
 from repro.utils.validation import require_int_in_range, require_positive
 

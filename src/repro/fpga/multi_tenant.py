@@ -17,7 +17,7 @@ board-level current sensor upstream of both.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

@@ -1,17 +1,21 @@
-"""Worker-count resolution for the parallel evaluation engine.
+"""Runtime configuration knobs for the evaluation engine.
 
-Every parallel stage funnels through :func:`resolve_workers` so one
-knob controls the whole pipeline:
+The library reads exactly two environment variables, both resolved
+here and nowhere else (README's "Environment knobs" table documents
+them):
 
-* an explicit ``workers`` argument (CLI ``--workers`` plumbs through
-  here) always wins;
-* otherwise the ``AMPEREBLEED_WORKERS`` environment variable applies;
-* otherwise the stage's default (serial unless stated otherwise).
-
-``workers=0`` or a negative value means "one worker per available
-CPU".  The resolution never exceeds what the scheduler actually grants
-this process (cgroup CPU masks on shared boxes), so asking for 16
-workers on a 4-core container fans out 4 wide.
+* ``AMPEREBLEED_WORKERS`` — via :func:`resolve_workers`.  Every
+  parallel stage funnels through it so one knob controls the whole
+  pipeline: an explicit ``workers`` argument (CLI ``--workers`` plumbs
+  through here) always wins; otherwise the environment variable
+  applies; otherwise the stage's default (serial unless stated
+  otherwise).  ``workers=0`` or a negative value means "one worker per
+  available CPU".  The resolution never exceeds what the scheduler
+  actually grants this process (cgroup CPU masks on shared boxes), so
+  asking for 16 workers on a 4-core container fans out 4 wide.
+* ``AMPEREBLEED_FULL`` — via :func:`full_scale`.  Opt-in to
+  paper-scale benchmark configurations (10 k samples per level,
+  100-tree forests, 10-fold CV) instead of the minutes-range defaults.
 """
 
 from __future__ import annotations
@@ -22,8 +26,22 @@ from typing import Optional
 #: Environment variable consulted when no explicit worker count is given.
 WORKERS_ENV = "AMPEREBLEED_WORKERS"
 
+#: Environment variable opting benches into full paper scale.
+FULL_ENV = "AMPEREBLEED_FULL"
+
 #: Hard cap: more workers than this is always a configuration mistake.
 MAX_WORKERS = 256
+
+
+def full_scale() -> bool:
+    """True when paper-scale benchmark runs are requested.
+
+    Reads ``AMPEREBLEED_FULL``; any of ``1``/``true``/``yes``/``on``
+    (case-insensitive) enables full scale.
+    """
+    return os.environ.get(FULL_ENV, "").strip().lower() in (
+        "1", "true", "yes", "on"
+    )
 
 
 def available_cpus() -> int:

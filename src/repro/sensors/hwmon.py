@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.sensors.ina226 import BUS_LSB_VOLTS, Ina226, Ina226Config, Ina226Reading
+from repro.sensors.ina226 import Ina226, Ina226Config, Ina226Reading
 from repro.soc.rails import PowerRail
 from repro.utils.hashrand import hashed_normal, hashed_uniform
 from repro.utils.rng import derive_seed

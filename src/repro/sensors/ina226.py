@@ -29,9 +29,7 @@ import numpy as np
 
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import (
-    require_int_in_range,
     require_non_negative,
-    require_one_of,
     require_positive,
 )
 

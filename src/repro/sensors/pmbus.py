@@ -16,9 +16,7 @@ writes, configuration decoding, ID probing) are faithful and testable.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
-
-import numpy as np
+from typing import Dict
 
 from repro.sensors.ina226 import (
     AVERAGING_COUNTS,

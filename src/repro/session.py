@@ -1,0 +1,169 @@
+"""Acquisition sessions: the on-device half of every attack.
+
+The paper's threat model is collect-once / analyze-anywhere: one
+unprivileged process on the board records hwmon traces, and the heavy
+analysis (forest training, the Table III grid) happens later on the
+attacker's machine.  :class:`AttackSession` is the library's single
+owner of the *device side* of that split — the board spec, the
+simulated SoC, the unprivileged sampler, and the channel registry —
+with one seed-derivation policy shared by every pipeline.
+
+Before this module existed, each pipeline (`characterize`,
+`DnnFingerprinter`, `RsaHammingWeightAttack`, `CovertChannel`,
+`AttackCampaign`) privately built its own ``Soc("ZCU102", seed=...)``
+with subtly different ``None`` handling; now they all accept a
+``session=`` and fall back to :func:`AttackSession.create` with the
+same normalization.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.boards.catalog import BoardSpec
+from repro.core.sampler import HwmonSampler
+from repro.soc.soc import QUANTITY_ATTRS, Soc
+from repro.utils.rng import derive_seed
+
+#: Default board: the paper's experimental machine.
+DEFAULT_BOARD = "ZCU102"
+
+
+def normalize_seed(seed: Optional[int]) -> int:
+    """The library-wide seed policy: ``None`` means seed 0.
+
+    Every acquisition component keys its noise streams off one integer
+    session seed.  ``None`` used to mean "fresh entropy" in some
+    constructors and 0 in others; a recording that cannot be replayed
+    is useless to the offline plane, so the unseeded case now pins to
+    the default seed everywhere.
+    """
+    return 0 if seed is None else int(seed)
+
+
+class AttackSession:
+    """One attacker foothold on one board: SoC + sampler + seed.
+
+    Args:
+        soc: the simulated platform (build with :meth:`create` to get
+            the default board construction).
+        sampler: the unprivileged polling loop; defaults to a fresh
+            :class:`HwmonSampler` keyed by the session seed.
+        seed: session seed (``None`` normalizes to 0 — see
+            :func:`normalize_seed`).
+
+    All attack pipelines accept a session so several of them can share
+    one foothold (same SoC, same noise streams) — exactly what one
+    malicious process on the real board would have.
+    """
+
+    def __init__(
+        self,
+        soc: Soc,
+        sampler: Optional[HwmonSampler] = None,
+        seed: Optional[int] = 0,
+    ):
+        if not isinstance(soc, Soc):
+            raise TypeError("soc must be a repro.soc.Soc")
+        self.seed = normalize_seed(seed)
+        self.soc = soc
+        self.sampler = (
+            sampler
+            if sampler is not None
+            else HwmonSampler(soc, seed=self.seed)
+        )
+
+    @classmethod
+    def create(
+        cls,
+        board=DEFAULT_BOARD,
+        seed: Optional[int] = 0,
+        poll_jitter: float = 120e-6,
+        hardening=None,
+    ) -> "AttackSession":
+        """Build a session on a fresh simulated board.
+
+        This is the one place the library constructs the
+        SoC-plus-sampler pair, so every pipeline derives its noise
+        streams identically.
+        """
+        seed = normalize_seed(seed)
+        soc = Soc(board, seed=seed, hardening=hardening)
+        sampler = HwmonSampler(soc, poll_jitter=poll_jitter, seed=seed)
+        return cls(soc, sampler=sampler, seed=seed)
+
+    @property
+    def board(self) -> BoardSpec:
+        """The board under attack."""
+        return self.soc.board
+
+    def derive(self, name: str) -> int:
+        """A stable integer sub-seed keyed by ``(session seed, name)``."""
+        return derive_seed(self.seed, name)
+
+    # ------------------------------------------------ channel registry
+
+    def domains(self) -> List[str]:
+        """Sensor domains pollable on this board, in stable order.
+
+        These are the paper's Table II sensitive channels — the rails
+        an unprivileged process can meaningfully observe.
+        """
+        return [domain for domain, _ in self.soc.sensitive_channels()]
+
+    def channels(
+        self, quantities: Optional[Tuple[str, ...]] = None
+    ) -> List[Tuple[str, str]]:
+        """Every pollable ``(domain, quantity)`` pair on this board.
+
+        ``quantities`` restricts the registry (e.g. ``("current",)``
+        for the four Table II current channels).
+        """
+        if quantities is None:
+            quantities = tuple(QUANTITY_ATTRS)
+        for quantity in quantities:
+            if quantity not in QUANTITY_ATTRS:
+                known = ", ".join(sorted(QUANTITY_ATTRS))
+                raise ValueError(
+                    f"unknown quantity {quantity!r}; expected one of {known}"
+                )
+        return [
+            (domain, quantity)
+            for domain in self.domains()
+            for quantity in quantities
+        ]
+
+    def __repr__(self) -> str:
+        return (
+            f"AttackSession({self.board.name}, seed={self.seed}, "
+            f"{len(self.domains())} domains)"
+        )
+
+
+def resolve_session(
+    session: Optional[AttackSession],
+    soc: Optional[Soc] = None,
+    sampler: Optional[HwmonSampler] = None,
+    board=None,
+    seed: Optional[int] = 0,
+) -> AttackSession:
+    """The shared constructor shim for pipelines.
+
+    Pipelines accept ``session=`` (preferred), or legacy ``soc=`` /
+    ``sampler=`` parts, or nothing at all; this resolves the three
+    spellings into one :class:`AttackSession` with the library seed
+    policy applied.
+    """
+    if session is not None:
+        if soc is not None and soc is not session.soc:
+            raise ValueError("pass either session or soc, not both")
+        if sampler is not None and sampler is not session.sampler:
+            raise ValueError("pass either session or sampler, not both")
+        return session
+    if soc is not None:
+        return AttackSession(soc, sampler=sampler, seed=seed)
+    if sampler is not None:
+        return AttackSession(sampler.soc, sampler=sampler, seed=seed)
+    return AttackSession.create(
+        board=DEFAULT_BOARD if board is None else board, seed=seed
+    )

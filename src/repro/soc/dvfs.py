@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
-import numpy as np
-
 from repro.soc.workload import PiecewiseActivity
 from repro.utils.validation import require_in_range, require_positive
 

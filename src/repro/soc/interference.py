@@ -13,8 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
-import numpy as np
-
 from repro.soc.workload import ActivityTimeline, PiecewiseActivity
 from repro.utils.rng import RngLike, spawn
 from repro.utils.validation import require_non_negative, require_positive

@@ -25,12 +25,11 @@ import numpy as np
 from repro.boards.catalog import BoardSpec, get_board
 from repro.boards.zcu102 import (
     SENSITIVE_SENSOR_MAP,
-    ZCU102_SENSORS,
     SensorSpec,
     sensor_map_for,
 )
 from repro.fpga.fabric import Fabric
-from repro.fpga.pdn import VoltageRegulator, zynq_us_plus_regulator
+from repro.fpga.pdn import VoltageRegulator
 from repro.sensors.hwmon import HwmonDevice, HwmonTree
 from repro.sensors.ina226 import Ina226
 from repro.soc.rails import PowerRail

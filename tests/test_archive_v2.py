@@ -1,0 +1,241 @@
+"""The v2 streaming archive, plus v1 compatibility and failure modes."""
+
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.io import (
+    MANIFEST_NAME,
+    ArchiveError,
+    TraceArchiveReader,
+    TraceArchiveWriter,
+    is_archive_dir,
+    load_traceset,
+    open_archive,
+    save_traceset,
+)
+from repro.core.traces import Trace, TraceSet
+
+FIXTURE_V1 = Path(__file__).parent / "data" / "traceset_v1.npz"
+
+
+def _make_trace(n=30, offset=0, domain="fpga", quantity="current",
+                label=None):
+    times = 1.0 + offset + np.arange(n) * 0.0352
+    values = (700 + offset + np.arange(n) % 5).astype(np.int64)
+    return Trace(times=times, values=values, domain=domain,
+                 quantity=quantity, label=label)
+
+
+class TestWriterReader:
+    def test_round_trip(self, tmp_path):
+        traces = [
+            _make_trace(label="resnet-50"),
+            _make_trace(offset=3, quantity="voltage"),
+        ]
+        with TraceArchiveWriter(
+            tmp_path / "arch", meta={"experiment": "test"}
+        ) as writer:
+            for trace in traces:
+                writer.append(trace)
+        reader = TraceArchiveReader(tmp_path / "arch")
+        assert reader.meta == {"experiment": "test"}
+        assert reader.complete
+        loaded = list(reader.load_traceset())
+        assert len(loaded) == 2
+        for original, restored in zip(traces, loaded):
+            assert (restored.times == original.times).all()
+            assert (restored.values == original.values).all()
+            assert restored.values.dtype == original.values.dtype
+            assert restored.label == original.label
+            assert restored.quantity == original.quantity
+
+    def test_multipart_reassembly(self, tmp_path):
+        whole = _make_trace(n=90, label="long-capture")
+        with TraceArchiveWriter(tmp_path / "arch") as writer:
+            for part, start in enumerate(range(0, 90, 25)):
+                chunk = Trace(
+                    times=whole.times[start:start + 25],
+                    values=whole.values[start:start + 25],
+                    domain=whole.domain,
+                    quantity=whole.quantity,
+                    label=whole.label,
+                )
+                writer.append(chunk, trace_id="cap", part=part)
+        loaded = list(TraceArchiveReader(tmp_path / "arch").load_traceset())
+        assert len(loaded) == 1
+        assert (loaded[0].times == whole.times).all()
+        assert (loaded[0].values == whole.values).all()
+
+    def test_iter_chunks_streams_in_order(self, tmp_path):
+        with TraceArchiveWriter(tmp_path / "arch") as writer:
+            for offset in range(4):
+                writer.append(_make_trace(offset=offset))
+        chunks = list(TraceArchiveReader(tmp_path / "arch").iter_chunks())
+        assert [int(chunk.values[0]) for chunk in chunks] == [
+            700, 701, 702, 703
+        ]
+
+    def test_load_datasets_keys_by_channel(self, tmp_path):
+        with TraceArchiveWriter(tmp_path / "arch") as writer:
+            writer.append(_make_trace(domain="fpga", quantity="current"))
+            writer.append(_make_trace(domain="fpga", quantity="voltage"))
+            writer.append(_make_trace(domain="ddr", quantity="current"))
+        datasets = TraceArchiveReader(tmp_path / "arch").load_datasets()
+        assert set(datasets) == {
+            ("fpga", "current"), ("fpga", "voltage"), ("ddr", "current")
+        }
+
+    def test_update_meta_rides_the_footer(self, tmp_path):
+        with TraceArchiveWriter(
+            tmp_path / "arch", meta={"experiment": "covert"}
+        ) as writer:
+            writer.append(_make_trace())
+            writer.update_meta(received=[1, 0, 1])
+        meta = TraceArchiveReader(tmp_path / "arch").meta
+        assert meta["experiment"] == "covert"
+        assert meta["received"] == [1, 0, 1]
+
+    def test_refuses_existing_manifest(self, tmp_path):
+        with TraceArchiveWriter(tmp_path / "arch") as writer:
+            writer.append(_make_trace())
+        with pytest.raises(ArchiveError, match="already has a manifest"):
+            TraceArchiveWriter(tmp_path / "arch")
+
+    def test_append_after_close_fails(self, tmp_path):
+        writer = TraceArchiveWriter(tmp_path / "arch")
+        writer.close()
+        with pytest.raises(ArchiveError, match="closed"):
+            writer.append(_make_trace())
+
+    def test_load_traceset_dispatches_to_v2(self, tmp_path):
+        with TraceArchiveWriter(tmp_path / "arch") as writer:
+            writer.append(_make_trace())
+        assert is_archive_dir(tmp_path / "arch")
+        assert len(load_traceset(tmp_path / "arch")) == 1
+
+
+class TestTruncationAndCorruption:
+    def test_unsealed_archive_is_truncated(self, tmp_path):
+        writer = TraceArchiveWriter(tmp_path / "arch")
+        writer.append(_make_trace())
+        writer._manifest.close()  # crash: no footer ever written
+        with pytest.raises(ArchiveError, match="truncated"):
+            TraceArchiveReader(tmp_path / "arch")
+        # Tailing a live capture is still possible.
+        partial = open_archive(tmp_path / "arch", allow_partial=True)
+        assert not partial.complete
+        assert len(partial) == 1
+
+    def test_exception_leaves_archive_unsealed(self, tmp_path):
+        with pytest.raises(RuntimeError):
+            with TraceArchiveWriter(tmp_path / "arch") as writer:
+                writer.append(_make_trace())
+                raise RuntimeError("capture died")
+        with pytest.raises(ArchiveError, match="truncated"):
+            TraceArchiveReader(tmp_path / "arch")
+
+    def test_missing_chunk_file(self, tmp_path):
+        with TraceArchiveWriter(tmp_path / "arch") as writer:
+            writer.append(_make_trace())
+        (tmp_path / "arch" / "chunk_000000.npz").unlink()
+        reader = TraceArchiveReader(tmp_path / "arch")
+        with pytest.raises(ArchiveError, match="missing"):
+            reader.load_traceset()
+
+    def test_corrupted_chunk_file(self, tmp_path):
+        with TraceArchiveWriter(tmp_path / "arch") as writer:
+            writer.append(_make_trace())
+        (tmp_path / "arch" / "chunk_000000.npz").write_bytes(b"garbage")
+        with pytest.raises(ArchiveError, match="corrupted chunk"):
+            TraceArchiveReader(tmp_path / "arch").load_traceset()
+
+    def test_corrupted_manifest_line(self, tmp_path):
+        with TraceArchiveWriter(tmp_path / "arch") as writer:
+            writer.append(_make_trace())
+        manifest = tmp_path / "arch" / MANIFEST_NAME
+        manifest.write_text(
+            manifest.read_text().replace('"chunk": 0', '"chunk": ', 1)
+        )
+        with pytest.raises(ArchiveError, match="corrupted manifest"):
+            TraceArchiveReader(tmp_path / "arch")
+
+    def test_wrong_kind_rejected(self, tmp_path):
+        (tmp_path / "arch").mkdir()
+        (tmp_path / "arch" / MANIFEST_NAME).write_text(
+            json.dumps({"kind": "something-else", "version": 2}) + "\n"
+        )
+        with pytest.raises(ArchiveError, match="not an AmpereBleed"):
+            TraceArchiveReader(tmp_path / "arch")
+
+    def test_footer_chunk_count_mismatch(self, tmp_path):
+        with TraceArchiveWriter(tmp_path / "arch") as writer:
+            writer.append(_make_trace())
+            writer.append(_make_trace(offset=1))
+        manifest = tmp_path / "arch" / MANIFEST_NAME
+        lines = manifest.read_text().splitlines()
+        del lines[2]  # drop a chunk record but keep the footer
+        manifest.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ArchiveError, match="footer claims"):
+            TraceArchiveReader(tmp_path / "arch")
+
+    def test_errors_are_value_errors(self, tmp_path):
+        # Callers catching ValueError keep working.
+        assert issubclass(ArchiveError, ValueError)
+        with pytest.raises(ValueError):
+            TraceArchiveReader(tmp_path / "nonexistent")
+
+
+class TestV1Compatibility:
+    def _fixture_content(self):
+        ts = TraceSet()
+        for i, (domain, quantity, label) in enumerate([
+            ("fpga", "current", "resnet-50"),
+            ("fpga", "voltage", None),
+            ("ddr", "current", "hw-448"),
+        ]):
+            n = 40 + 7 * i
+            times = (
+                1.0 + np.arange(n) * 0.0352
+                + 1e-5 * np.sin(np.arange(n) + i)
+            )
+            values = (
+                700 + 13 * i + np.round(5 * np.cos(0.3 * np.arange(n) + i))
+            ).astype(np.int64)
+            ts.add(Trace(times=times, values=values, domain=domain,
+                         quantity=quantity, label=label))
+        return ts
+
+    def test_checked_in_v1_fixture_loads_bit_exactly(self):
+        # The fixture was written by the v1 writer before the v2 format
+        # existed; the current reader must reproduce it bit for bit.
+        loaded = list(load_traceset(FIXTURE_V1))
+        expected = list(self._fixture_content())
+        assert len(loaded) == len(expected)
+        for restored, original in zip(loaded, expected):
+            assert (restored.times == original.times).all()
+            assert (restored.values == original.values).all()
+            assert restored.values.dtype == original.values.dtype
+            assert restored.label == original.label
+            assert restored.domain == original.domain
+            assert restored.quantity == original.quantity
+
+    def test_fresh_v1_round_trip_still_works(self, tmp_path):
+        path = save_traceset(self._fixture_content(), tmp_path / "set.npz")
+        loaded = list(load_traceset(path))
+        assert len(loaded) == 3
+
+    def test_truncated_v1_is_a_clear_error(self, tmp_path):
+        path = save_traceset(self._fixture_content(), tmp_path / "set.npz")
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ArchiveError, match="corrupted trace archive"):
+            load_traceset(path)
+
+    def test_garbage_v1_is_a_clear_error(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"\x00\x01 not a zip")
+        with pytest.raises(ArchiveError, match="corrupted trace archive"):
+            load_traceset(path)

@@ -8,7 +8,6 @@ measurements.
 """
 
 import numpy as np
-import pytest
 
 from repro.core.fingerprint import DnnFingerprinter, FingerprintConfig
 from repro.core.rsa_attack import RsaHammingWeightAttack

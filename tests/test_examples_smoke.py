@@ -44,6 +44,11 @@ class TestExamplesRun:
         out = run_example("covert_channel.py", capsys)
         assert "'AMPERE'" in out
 
+    def test_record_and_analyze(self, capsys):
+        out = run_example("record_and_analyze.py", capsys)
+        assert "archive sealed" in out
+        assert "top-1" in out
+
     def test_multi_tenant_cloud(self, capsys):
         out = run_example("multi_tenant_cloud.py", capsys)
         assert "upstream INA226 current: r = +" in out

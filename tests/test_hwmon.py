@@ -11,7 +11,7 @@ from repro.sensors.hwmon import (
 )
 from repro.sensors.ina226 import Ina226
 from repro.soc.rails import PowerRail
-from repro.soc.workload import ConstantActivity, PiecewiseActivity
+from repro.soc.workload import PiecewiseActivity
 
 
 def make_device(index=0, idle_power=1.0, noise_power_sigma=0.0, seed=0,

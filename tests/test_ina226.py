@@ -8,7 +8,6 @@ from repro.sensors.ina226 import (
     BUS_LSB_VOLTS,
     CONVERSION_TIMES,
     POWER_LSB_RATIO,
-    SHUNT_LSB_VOLTS,
     Ina226,
     Ina226Config,
 )

@@ -13,7 +13,6 @@ from repro.perf import (
     parallel_map,
     resolve_workers,
 )
-from repro.perf.executor import _mark_worker
 
 
 def _square(x):

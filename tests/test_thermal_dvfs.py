@@ -7,8 +7,7 @@ from repro.soc.dvfs import (
     ZYNQMP_A53_OPPS,
     CpuClusterModel,
     OndemandGovernor,
-    OperatingPoint,
-)
+    )
 from repro.soc.thermal import ThermalModel
 from repro.soc.workload import ConstantActivity, PiecewiseActivity
 

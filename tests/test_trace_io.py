@@ -3,7 +3,12 @@
 import numpy as np
 import pytest
 
-from repro.core.io import FORMAT_VERSION, load_traceset, save_traceset
+from repro.core.io import (
+    FORMAT_VERSION,
+    V1_FORMAT_VERSION,
+    load_traceset,
+    save_traceset,
+)
 from repro.core.traces import Trace, TraceSet
 
 
@@ -71,4 +76,7 @@ class TestErrors:
             load_traceset(path)
 
     def test_format_version_pinned(self):
-        assert FORMAT_VERSION == 1
+        # v1 single-file archives must stay loadable forever; v2 is the
+        # streaming directory format.
+        assert V1_FORMAT_VERSION == 1
+        assert FORMAT_VERSION == 2

@@ -1,7 +1,6 @@
 """Unit tests for repro.utils.rng (seed discipline)."""
 
 import numpy as np
-import pytest
 
 from repro.utils import rng
 

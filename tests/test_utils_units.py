@@ -45,7 +45,7 @@ class TestHwmonQuantization:
         assert isinstance(units.amps_to_hwmon(0.5), int)
 
     def test_volts_to_hwmon(self):
-        assert units.volts_to_hwmon(0.8505) == 850 or units.volts_to_hwmon(0.8505) == 851
+        assert units.volts_to_hwmon(0.8505) in (850, 851)
 
     def test_watts_to_hwmon_microwatts(self):
         assert units.watts_to_hwmon(1.5) == 1_500_000
