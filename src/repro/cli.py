@@ -89,6 +89,8 @@ def _cmd_fingerprint(args: argparse.Namespace) -> int:
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.perf.bench import run_fingerprint_bench, write_bench_json
 
+    if args.faults:
+        return _cmd_bench_faults(args)
     report = run_fingerprint_bench(
         workers=args.workers,
         n_models=args.models,
@@ -109,9 +111,36 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     print(f"workers: {report['workers']}  cpus: {report['cpu_count']}  "
           f"accuracy parity: {'exact' if parity['identical'] else 'DRIFT'} "
           f"(max |diff| {parity['max_abs_diff']:.2e})")
+    overhead = report["faults_disabled_overhead"]
+    print(f"faults-disabled overhead: "
+          f"{overhead['overhead_fraction'] * 100:+.1f}% "
+          f"(noop plan armed vs none)")
     path = write_bench_json(report, args.output)
     print(f"bench report written to {path}")
     return 0 if parity["identical"] else 1
+
+
+def _cmd_bench_faults(args: argparse.Namespace) -> int:
+    from repro.perf.bench import run_fault_sweep, write_bench_json
+
+    kwargs = {}
+    if args.fault_rates:
+        kwargs["rates"] = args.fault_rates
+    report = run_fault_sweep(
+        workers=args.workers, seed=args.seed, **kwargs
+    )
+    print(f"{'rate':>6s} {'top-1':>7s} {'top-5':>7s} {'retries':>8s} "
+          f"{'gaps':>6s} {'dropped':>8s}")
+    for point in report["rates"]:
+        print(f"{point['rate']:6.2f} {point['top1']:7.3f} "
+              f"{point['top5']:7.3f} {point['retries']:8d} "
+              f"{point['gaps']:6d} {len(point['dropped_channels']):8d}")
+    output = args.output
+    if output == "BENCH_fingerprint.json":
+        output = "BENCH_fingerprint_faults.json"
+    path = write_bench_json(report, output)
+    print(f"fault sweep written to {path}")
+    return 0
 
 
 def _cmd_rsa(args: argparse.Namespace) -> int:
@@ -162,6 +191,17 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _record_session(args: argparse.Namespace):
+    """The acquisition session behind `record`, faults armed if asked."""
+    from repro.session import DEFAULT_BOARD, AttackSession
+
+    return AttackSession.create(
+        board=args.board if args.board is not None else DEFAULT_BOARD,
+        seed=args.seed,
+        faults=args.faults,
+    )
+
+
 def _record_fingerprint(args: argparse.Namespace) -> None:
     from repro.core.fingerprint import DnnFingerprinter, FingerprintConfig
     from repro.core.io import TraceArchiveWriter
@@ -176,14 +216,23 @@ def _record_fingerprint(args: argparse.Namespace) -> None:
         forest_trees=args.trees,
     )
     fingerprinter = DnnFingerprinter(
-        config=config, seed=args.seed, board=args.board
+        session=_record_session(args), config=config
     )
     print(f"recording {len(models)} models x {args.traces} traces...")
-    with TraceArchiveWriter(
-        args.out, meta=fingerprinter.archive_meta(models, channels)
-    ) as writer:
+    writer = TraceArchiveWriter(
+        args.out,
+        meta=fingerprinter.archive_meta(models, channels),
+        resume=args.resume,
+    )
+    with writer:
         fingerprinter.collect_datasets(
-            models=models, channels=channels, sink=writer
+            models=models,
+            channels=channels,
+            sink=writer,
+            resume=args.resume,
+            # Under injected faults a dead sensor should shrink the
+            # recording, not kill it.
+            on_dead="drop" if args.faults is not None else "raise",
         )
 
 
@@ -191,16 +240,21 @@ def _record_rsa(args: argparse.Namespace) -> None:
     from repro.core.io import TraceArchiveWriter
     from repro.core.rsa_attack import RsaHammingWeightAttack
 
-    attack = RsaHammingWeightAttack(seed=args.seed, board=args.board)
+    attack = RsaHammingWeightAttack(session=_record_session(args))
     print(f"recording the Hamming-weight sweep on {args.quantity}...")
-    with TraceArchiveWriter(
+    writer = TraceArchiveWriter(
         args.out,
         meta=attack.archive_meta(
             quantity=args.quantity, n_samples=args.samples
         ),
-    ) as writer:
+        resume=args.resume,
+    )
+    with writer:
         attack.collect_sweep(
-            quantity=args.quantity, n_samples=args.samples, sink=writer
+            quantity=args.quantity,
+            n_samples=args.samples,
+            sink=writer,
+            resume=args.resume,
         )
 
 
@@ -236,6 +290,12 @@ def _record_covert(args: argparse.Namespace) -> None:
 
 
 def _cmd_record(args: argparse.Namespace) -> int:
+    if args.experiment == "covert" and (
+        args.resume or args.faults is not None
+    ):
+        print("--resume/--faults are not supported for the covert "
+              "experiment")
+        return 2
     recorders = {
         "fingerprint": _record_fingerprint,
         "rsa": _record_rsa,
@@ -370,6 +430,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--output", type=str, default="BENCH_fingerprint.json"
     )
+    bench.add_argument(
+        "--faults", action="store_true",
+        help="run the accuracy-vs-fault-rate sweep instead "
+             "(emits BENCH_fingerprint_faults.json)",
+    )
+    bench.add_argument(
+        "--fault-rates", nargs="*", type=float, default=None,
+        help="fault rates to sweep with --faults "
+             "(default 0 0.05 0.1 0.2 0.4)",
+    )
 
     rsa = sub.add_parser("rsa", help="RSA Hamming-weight attack (Fig 4)")
     rsa.add_argument("--samples", type=int, default=8000)
@@ -424,6 +494,16 @@ def build_parser() -> argparse.ArgumentParser:
     record.add_argument(
         "--board", type=str, default=None,
         help="Table I board to record on (default ZCU102)",
+    )
+    record.add_argument(
+        "--faults", type=float, default=None,
+        help="arm deterministic fault injection at this rate in [0, 1] "
+             "(fingerprint/rsa; dead channels are dropped, not fatal)",
+    )
+    record.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted recording from the archive's "
+             "last checkpoint (fingerprint/rsa)",
     )
     record.add_argument(
         "--models", nargs="*", default=None,

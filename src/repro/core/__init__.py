@@ -50,8 +50,14 @@ from repro.core.rsa_attack import (
     WeightSweepResult,
     sweep_from_traces,
 )
-from repro.core.sampler import HwmonSampler, TraceStream
-from repro.core.traces import Trace, TraceSet
+from repro.core.sampler import (
+    ChannelDeadError,
+    ChannelOutageError,
+    HwmonSampler,
+    StreamInterrupted,
+    TraceStream,
+)
+from repro.core.traces import Trace, TraceQuality, TraceSet
 
 __all__ = [
     "CHANNEL_LSBS",
@@ -94,8 +100,12 @@ __all__ = [
     "RsaHammingWeightAttack",
     "WeightSweepResult",
     "sweep_from_traces",
+    "ChannelDeadError",
+    "ChannelOutageError",
     "HwmonSampler",
+    "StreamInterrupted",
     "TraceStream",
     "Trace",
+    "TraceQuality",
     "TraceSet",
 ]

@@ -18,10 +18,14 @@ three calls; the examples and the campaign tests exercise it.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+import numpy as np
 
 from repro.boards.zcu102 import SENSITIVE_SENSOR_MAP
 from repro.core.detector import OnsetDetector
+from repro.core.io import TraceArchiveWriter
 from repro.core.sampler import HwmonSampler
 from repro.core.traces import Trace
 from repro.soc.soc import Soc
@@ -157,4 +161,108 @@ class AttackCampaign:
             return None
         return self.record_victim(
             start=max(onset, victim_start), duration=trace_duration
+        )
+
+    def run_archived(
+        self,
+        out: Union[str, Path],
+        victim_start: float,
+        trace_duration: float = 5.0,
+        stakeout_from: float = 0.0,
+        timeout: float = 60.0,
+        chunk_duration: float = 1.0,
+        resume: bool = False,
+    ) -> Optional[Trace]:
+        """The full chain, checkpointed to a v2 trace archive.
+
+        Each stage (recon, stakeout, every recorded attack chunk)
+        lands in the archive manifest as it completes, so a campaign
+        killed at any point resumes from its last checkpoint with
+        ``resume=True`` — the stages already done are skipped and the
+        attack trace continues at the exact chunk where the kill hit.
+        Recording is deterministic, so the sealed archive (and the
+        returned trace) is byte-identical to an uninterrupted run's.
+
+        Returns the reassembled attack trace, or ``None`` when recon
+        or stakeout fails (the archive is sealed either way, with an
+        ``outcome`` in its metadata).
+        """
+        meta = {
+            "experiment": "campaign",
+            "board": self.soc.board.name,
+            "seed": self.session.seed,
+            "victim_start": victim_start,
+            "trace_duration": trace_duration,
+            "stakeout_from": stakeout_from,
+            "timeout": timeout,
+            "chunk_duration": chunk_duration,
+        }
+        writer = TraceArchiveWriter(out, meta=meta, resume=resume)
+        try:
+            state: Dict = {}
+            if resume:
+                writer.drop_entries_after_checkpoint()
+                state = dict(writer.checkpoint_state or {})
+            stages = {"recon": 1, "stakeout": 2, "attack": 3}
+            reached = stages.get(state.get("stage"), 0)
+            if reached < 1:
+                report = self.recon()
+                state = {
+                    "stage": "recon",
+                    "found_fpga_sensor": report.found_fpga_sensor,
+                }
+                writer.checkpoint(state)
+            if not state.get("found_fpga_sensor"):
+                writer.update_meta(outcome="no-sensor")
+                writer.close()
+                return None
+            if reached < 2:
+                found, onset = self.wait_for_victim(
+                    start=stakeout_from, timeout=timeout
+                )
+                state = dict(
+                    state,
+                    stage="stakeout",
+                    victim_found=found,
+                    onset=float(onset),
+                )
+                writer.checkpoint(state)
+            if not state.get("victim_found"):
+                writer.update_meta(outcome="no-victim")
+                writer.close()
+                return None
+            chunks_done = int(state.get("chunks_done", 0))
+            stream = self.sampler.stream(
+                "fpga",
+                "current",
+                start=max(float(state["onset"]), victim_start),
+                duration=trace_duration,
+                chunk_duration=chunk_duration,
+                label="campaign-attack",
+            )
+            recorded = []
+            for index, chunk in enumerate(stream):
+                recorded.append(chunk)
+                if index < chunks_done:
+                    # Already persisted before the interruption; the
+                    # chunk was regenerated (deterministically) only
+                    # to rebuild the in-memory trace and advance the
+                    # stream's jitter state.
+                    continue
+                writer.append(chunk, trace_id="attack", part=index)
+                state = dict(state, stage="attack", chunks_done=index + 1)
+                writer.checkpoint(state)
+            writer.update_meta(outcome="recorded")
+            writer.close()
+        except BaseException:
+            # Leave the archive visibly unsealed for a later resume.
+            writer.abort()
+            raise
+        first = recorded[0]
+        return Trace(
+            times=np.concatenate([c.times for c in recorded]),
+            values=np.concatenate([c.values for c in recorded]),
+            domain=first.domain,
+            quantity=first.quantity,
+            label=first.label,
         )

@@ -30,7 +30,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.io import TraceArchiveReader, TraceArchiveWriter
+from repro.core.io import (
+    TraceArchiveReader,
+    TraceArchiveWriter,
+    read_chunk_entry,
+)
 from repro.core.sampler import HwmonSampler
 from repro.core.traces import Trace, TraceSet
 from repro.dpu.models import ModelSpec, build_model, list_models
@@ -336,6 +340,45 @@ class FingerprintAnalyzer:
             workers=self._workers(workers),
         )
 
+    def evaluate_fused_degraded(
+        self,
+        datasets: Dict[Tuple[str, str], TraceSet],
+        channels: Sequence[Tuple[str, str]] = None,
+        duration: Optional[float] = None,
+        workers: Optional[int] = None,
+    ) -> Dict:
+        """Fusion that tolerates channels lost to dead sensors.
+
+        Degraded-mode recording (``on_dead="drop"``) can leave the
+        dataset without some requested channels; this wrapper fuses
+        whatever survived and reports exactly what was dropped.
+
+        Returns a dict with ``result`` (the fused
+        :class:`~repro.ml.validation.CrossValidationResult`),
+        ``used_channels`` and ``dropped_channels``.
+        """
+        if channels is None:
+            channels = [c for c in datasets if c[1] == "current"]
+        channels = [tuple(channel) for channel in channels]
+        used = [
+            channel
+            for channel in channels
+            if channel in datasets and len(datasets[channel]) > 0
+        ]
+        dropped = [channel for channel in channels if channel not in used]
+        if not used:
+            raise ValueError(
+                f"no fusable channels left: all of {channels} were dropped"
+            )
+        result = self.evaluate_fused(
+            datasets, channels=used, duration=duration, workers=workers
+        )
+        return {
+            "result": result,
+            "used_channels": used,
+            "dropped_channels": dropped,
+        }
+
     # ------------------------------------------- online classification
 
     def train(self, dataset: TraceSet) -> RandomForestClassifier:
@@ -472,6 +515,7 @@ class DnnFingerprinter:
         model: ModelSpec,
         channels: Sequence[Tuple[str, str]] = TABLE3_CHANNELS,
         run_index: int = 0,
+        on_dead: str = "raise",
     ) -> Dict[Tuple[str, str], Trace]:
         """Run one victim serving session and record every channel.
 
@@ -481,6 +525,11 @@ class DnnFingerprinter:
         the real board would see it.  The channels are recorded through
         the batched acquisition path: one conversion pass per physical
         sensor instead of one per channel.
+
+        ``on_dead="drop"`` enables degraded-mode recording under fault
+        injection: channels whose sensor is dead (or suffers a total
+        outage) are omitted from the result instead of failing the
+        whole run.
         """
         start = self._next_window()
         run_seed = derive_seed(self.seed, f"run-{model.name}-{run_index}")
@@ -501,6 +550,7 @@ class DnnFingerprinter:
                     start=start,
                     duration=self.config.duration,
                     label=model.name,
+                    on_dead=on_dead,
                 )
             finally:
                 self.runner.undeploy(self.soc)
@@ -527,6 +577,8 @@ class DnnFingerprinter:
         channels: Sequence[Tuple[str, str]] = TABLE3_CHANNELS,
         traces_per_model: Optional[int] = None,
         sink: Optional[TraceArchiveWriter] = None,
+        on_dead: str = "raise",
+        resume: bool = False,
     ) -> Dict[Tuple[str, str], TraceSet]:
         """Offline phase: labeled trace sets for every channel.
 
@@ -534,25 +586,66 @@ class DnnFingerprinter:
         archive the moment its run completes — the recording session
         streams to disk as it polls, and the returned in-memory
         datasets match what :meth:`FingerprintAnalyzer.from_archive`
-        later loads, bit for bit.
+        later loads, bit for bit.  After each completed run the sink
+        gets a progress checkpoint.
+
+        With ``resume=True`` and a sink reopened via
+        ``TraceArchiveWriter(..., resume=True)``, runs the interrupted
+        session already persisted are loaded back from disk instead of
+        re-recorded; chunks from a half-finished run are rolled back
+        and re-recorded at the same indices.  Recording is
+        deterministic, so the final archive and returned datasets are
+        byte-identical to an uninterrupted session's.
         """
         if models is None:
             models = list_models()
+        models = list(models)
         if traces_per_model is None:
             traces_per_model = self.config.traces_per_model
         datasets: Dict[Tuple[str, str], TraceSet] = {
             channel: TraceSet() for channel in channels
         }
+        runs_done = 0
+        if resume:
+            if sink is None:
+                raise ValueError("resume=True needs a sink archive writer")
+            sink.drop_entries_after_checkpoint()
+            state = sink.checkpoint_state or {}
+            runs_done = int(state.get("runs_done", 0))
+            for entry in sink.entries:
+                trace = read_chunk_entry(sink.path, entry)
+                datasets[(trace.domain, trace.quantity)].add(trace)
+        run_index = 0
         for name in models:
             model = build_model(name)
             for repetition in range(traces_per_model):
+                if run_index < runs_done:
+                    # Already persisted by the interrupted session:
+                    # advance the experiment clock exactly as the
+                    # recorded run did, but skip the recording.
+                    self._next_window()
+                    run_index += 1
+                    continue
                 run = self.record_run(
-                    model, channels=channels, run_index=repetition
+                    model,
+                    channels=channels,
+                    run_index=repetition,
+                    on_dead=on_dead,
                 )
                 for channel, trace in run.items():
                     datasets[channel].add(trace)
                     if sink is not None:
                         sink.append(trace)
+                run_index += 1
+                if sink is not None:
+                    sink.checkpoint(
+                        {
+                            "experiment": "fingerprint",
+                            "runs_done": run_index,
+                            "model": name,
+                            "repetition": repetition,
+                        }
+                    )
         return datasets
 
     # ------------------------------------------- delegated evaluation
@@ -572,6 +665,10 @@ class DnnFingerprinter:
     def evaluate_fused(self, *args, **kwargs) -> CrossValidationResult:
         """See :meth:`FingerprintAnalyzer.evaluate_fused`."""
         return self.analyzer.evaluate_fused(*args, **kwargs)
+
+    def evaluate_fused_degraded(self, *args, **kwargs) -> Dict:
+        """See :meth:`FingerprintAnalyzer.evaluate_fused_degraded`."""
+        return self.analyzer.evaluate_fused_degraded(*args, **kwargs)
 
     def train(self, dataset: TraceSet) -> RandomForestClassifier:
         """See :meth:`FingerprintAnalyzer.train`."""

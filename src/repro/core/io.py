@@ -28,7 +28,7 @@ from typing import Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
 
-from repro.core.traces import Trace, TraceSet
+from repro.core.traces import Trace, TraceQuality, TraceSet
 
 #: Latest archive format version.
 FORMAT_VERSION = 2
@@ -126,6 +126,40 @@ def _load_traceset_v1(path: Path) -> TraceSet:
 # --------------------------------------------------- v2 directory archive
 
 
+def read_chunk_entry(path: Path, entry: dict) -> Trace:
+    """Load one manifest chunk entry from an archive directory.
+
+    Shared by :class:`TraceArchiveReader` and by resumed
+    :class:`TraceArchiveWriter` sessions rebuilding their in-memory
+    datasets from already-persisted chunks.
+    """
+    chunk_path = Path(path) / entry["file"]
+    if not chunk_path.exists():
+        raise ArchiveError(
+            f"truncated trace archive {path}: chunk file "
+            f"{entry['file']} is missing"
+        )
+    try:
+        with np.load(chunk_path, allow_pickle=False) as arrays:
+            times = arrays["times"]
+            values = arrays["values"]
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError) as error:
+        raise ArchiveError(
+            f"corrupted chunk {entry['file']} in {path}: {error}"
+        ) from None
+    quality = entry.get("quality")
+    return Trace(
+        times=times,
+        values=values,
+        domain=entry["domain"],
+        quantity=entry["quantity"],
+        label=entry.get("label"),
+        quality=(
+            TraceQuality.from_dict(quality) if quality is not None else None
+        ),
+    )
+
+
 class TraceArchiveWriter:
     """Append-mode writer for a v2 directory archive.
 
@@ -134,30 +168,57 @@ class TraceArchiveWriter:
     flight; :meth:`close` seals the archive with a footer line that
     readers use to detect truncation.
 
+    An interrupted recording leaves an unsealed manifest; reopening
+    the same directory with ``resume=True`` recovers it — a corrupt
+    trailing manifest line (a write torn mid-crash) is truncated away,
+    an unreadable trailing chunk file is dropped along with its entry,
+    and appending continues at the exact chunk index where the crash
+    hit.  Because recording is deterministic, a resumed session
+    rewrites the lost tail bit-identically.  :meth:`checkpoint` records
+    arbitrary JSON progress markers in the manifest that the resumed
+    session reads back via :attr:`checkpoint_state`.
+
     Args:
         path: archive directory (created; must not already contain a
-            manifest).
+            manifest unless ``resume`` is set).
         meta: experiment metadata stored in the manifest header —
             e.g. the fingerprint configuration, board name, seed —
             so the analysis plane can reproduce the recording's
-            evaluation without out-of-band knowledge.
+            evaluation without out-of-band knowledge.  On resume it
+            must match the interrupted session's header exactly.
+        resume: recover an interrupted (unsealed) archive at ``path``
+            instead of refusing to touch it.  A sealed archive still
+            refuses — there is nothing left to resume.
     """
 
     def __init__(
-        self, path: Union[str, Path], meta: Optional[dict] = None
+        self,
+        path: Union[str, Path],
+        meta: Optional[dict] = None,
+        resume: bool = False,
     ):
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self._manifest_path = self.path / MANIFEST_NAME
-        if self._manifest_path.exists():
-            raise ArchiveError(
-                f"archive {self.path} already has a manifest; "
-                f"write to a fresh directory"
-            )
         self.meta = dict(meta) if meta else {}
         self._meta_updates: dict = {}
         self._n_chunks = 0
         self._closed = False
+        #: Chunk entries recovered from an interrupted manifest
+        #: (empty for a fresh archive).
+        self.entries: list = []
+        #: Last :meth:`checkpoint` state recovered on resume (or
+        #: recorded this session); ``None`` when never checkpointed.
+        self.checkpoint_state: Optional[dict] = None
+        if self._manifest_path.exists():
+            if not resume:
+                raise ArchiveError(
+                    f"archive {self.path} already has a manifest; "
+                    f"write to a fresh directory or pass resume=True"
+                )
+            self._recover(meta)
+            self._manifest = self._manifest_path.open("a", encoding="utf-8")
+            return
         header = {
             "kind": ARCHIVE_KIND,
             "version": FORMAT_VERSION,
@@ -166,9 +227,162 @@ class TraceArchiveWriter:
         self._manifest = self._manifest_path.open("a", encoding="utf-8")
         self._write_line(header)
 
+    def _recover(self, meta: Optional[dict]) -> None:
+        """Rebuild writer state from an interrupted manifest.
+
+        Tolerates exactly the damage a killed recorder can cause — a
+        torn final manifest line or a chunk entry whose ``.npz`` never
+        became readable — by truncating the manifest back to the last
+        fully-persisted record.  Damage anywhere *earlier* is real
+        corruption and raises instead of being papered over.
+        """
+        lines = self._manifest_path.read_text(encoding="utf-8").split("\n")
+        records = []
+        torn_tail = False
+        for position, line in enumerate(lines):
+            text = line.strip()
+            if not text:
+                continue
+            try:
+                record = json.loads(text)
+            except json.JSONDecodeError as error:
+                rest = [tail for tail in lines[position + 1:] if tail.strip()]
+                if rest:
+                    raise ArchiveError(
+                        f"corrupted manifest line {position + 1} in "
+                        f"{self._manifest_path} (not a torn tail): {error}"
+                    ) from None
+                torn_tail = True  # torn final line: drop it
+                break
+            records.append(record)
+        if not records:
+            raise ArchiveError(
+                f"cannot resume {self.path}: no intact manifest header"
+            )
+        header = records[0]
+        if header.get("kind") != ARCHIVE_KIND:
+            raise ArchiveError(
+                f"{self.path} is not an AmpereBleed trace archive"
+            )
+        if header.get("version") != FORMAT_VERSION:
+            raise ArchiveError(
+                f"unsupported trace archive version {header.get('version')}"
+            )
+        if any(record.get("footer") for record in records):
+            raise ArchiveError(
+                f"archive {self.path} is already sealed; nothing to resume"
+            )
+        header_meta = header.get("meta", {})
+        if meta is not None and dict(meta) != header_meta:
+            raise ArchiveError(
+                f"resume metadata mismatch for {self.path}: the "
+                f"interrupted session recorded a different configuration"
+            )
+        self.meta = dict(header_meta)
+        body = records[1:]
+        entries = [record for record in body if "checkpoint" not in record]
+        # Only the final chunk write can be torn (chunk .npz lands on
+        # disk before its manifest line); verify it and drop the entry
+        # — plus any checkpoint recorded after it — if unreadable.
+        while entries:
+            last = entries[-1]
+            chunk_path = self.path / last["file"]
+            try:
+                with np.load(chunk_path, allow_pickle=False) as arrays:
+                    arrays["times"], arrays["values"]
+                break
+            except (
+                zipfile.BadZipFile, OSError, ValueError, KeyError,
+            ):
+                cut = body.index(last)
+                body = body[:cut]
+                entries = entries[:-1]
+        kept = [header] + body
+        if torn_tail or len(kept) != len(records):
+            tmp_path = self._manifest_path.with_suffix(".jsonl.tmp")
+            tmp_path.write_text(
+                "".join(json.dumps(record) + "\n" for record in kept),
+                encoding="utf-8",
+            )
+            tmp_path.replace(self._manifest_path)
+        elif lines and lines[-1].strip():
+            # Manifest survived intact but without a trailing newline;
+            # make sure the next append starts on its own line.
+            with self._manifest_path.open("a", encoding="utf-8") as handle:
+                handle.write("\n")
+        checkpoints = [
+            record["checkpoint"] for record in body if "checkpoint" in record
+        ]
+        self.entries = entries
+        self.checkpoint_state = checkpoints[-1] if checkpoints else None
+        self._n_chunks = len(entries)
+
+    @property
+    def n_chunks(self) -> int:
+        """Chunks persisted so far (recovered + appended)."""
+        return self._n_chunks
+
     def _write_line(self, record: dict) -> None:
         self._manifest.write(json.dumps(record) + "\n")
         self._manifest.flush()
+
+    def checkpoint(self, state: dict) -> None:
+        """Record a resumable progress marker in the manifest.
+
+        Checkpoint records are ignored by readers' chunk iteration;
+        a resumed writer surfaces the most recent one as
+        :attr:`checkpoint_state` so the recording loop can skip work
+        that already landed on disk.
+        """
+        if self._closed:
+            raise ArchiveError(f"archive {self.path} is already closed")
+        if not isinstance(state, dict):
+            raise TypeError("checkpoint state must be a dict")
+        self._write_line({"checkpoint": state})
+        self.checkpoint_state = dict(state)
+
+    def drop_entries_after_checkpoint(self) -> int:
+        """Roll a resumed archive back to its last checkpoint.
+
+        Recording loops that append several chunks per unit of work and
+        checkpoint *between* units call this right after resuming: any
+        chunk persisted after the final checkpoint belongs to a
+        half-finished unit and will be re-recorded (deterministically,
+        hence bit-identically) at the same chunk indices.  Returns the
+        number of entries dropped.  Without a checkpoint, every
+        recovered entry is dropped.
+        """
+        if self._closed:
+            raise ArchiveError(f"archive {self.path} is already closed")
+        lines = self._manifest_path.read_text(encoding="utf-8").splitlines()
+        records = [json.loads(line) for line in lines if line.strip()]
+        last_checkpoint = 0
+        for position, record in enumerate(records):
+            if "checkpoint" in record:
+                last_checkpoint = position
+        kept = records[: last_checkpoint + 1]
+        dropped = [
+            record
+            for record in records[last_checkpoint + 1:]
+            if "checkpoint" not in record
+        ]
+        if not dropped:
+            return 0
+        self._manifest.close()
+        tmp_path = self._manifest_path.with_suffix(".jsonl.tmp")
+        tmp_path.write_text(
+            "".join(json.dumps(record) + "\n" for record in kept),
+            encoding="utf-8",
+        )
+        tmp_path.replace(self._manifest_path)
+        self._manifest = self._manifest_path.open("a", encoding="utf-8")
+        self.entries = [
+            record
+            for record in kept[1:]
+            if "checkpoint" not in record and not record.get("footer")
+        ]
+        self._n_chunks = len(self.entries)
+        return len(dropped)
 
     def append(
         self,
@@ -194,18 +408,22 @@ class TraceArchiveWriter:
         np.savez_compressed(
             self.path / file_name, times=trace.times, values=trace.values
         )
-        self._write_line(
-            {
-                "chunk": index,
-                "file": file_name,
-                "trace_id": trace_id,
-                "part": int(part),
-                "domain": trace.domain,
-                "quantity": trace.quantity,
-                "label": trace.label,
-                "n_samples": trace.n_samples,
-            }
-        )
+        entry = {
+            "chunk": index,
+            "file": file_name,
+            "trace_id": trace_id,
+            "part": int(part),
+            "domain": trace.domain,
+            "quantity": trace.quantity,
+            "label": trace.label,
+            "n_samples": trace.n_samples,
+        }
+        # Quality metadata rides the manifest only when the resilient
+        # path produced some — fault-free archives stay byte-identical
+        # to ones written before quality existed.
+        if trace.quality is not None:
+            entry["quality"] = trace.quality.to_dict()
+        self._write_line(entry)
         self._n_chunks += 1
         return file_name
 
@@ -234,6 +452,13 @@ class TraceArchiveWriter:
         if self._meta_updates:
             footer["meta"] = self._meta_updates
         self._write_line(footer)
+        self._manifest.close()
+        self._closed = True
+
+    def abort(self) -> None:
+        """Stop writing without sealing — the archive stays resumable."""
+        if self._closed:
+            return
         self._manifest.close()
         self._closed = True
 
@@ -295,9 +520,17 @@ class TraceArchiveReader:
         footer = records[-1] if records[-1].get("footer") else None
         if footer is not None and footer.get("meta"):
             self.meta.update(footer["meta"])
+        body = [record for record in records[1:] if not record.get("footer")]
         self.entries = [
-            record for record in records[1:] if not record.get("footer")
+            record for record in body if "checkpoint" not in record
         ]
+        checkpoints = [
+            record["checkpoint"] for record in body if "checkpoint" in record
+        ]
+        #: Most recent recording checkpoint, if the session wrote any.
+        self.checkpoint: Optional[dict] = (
+            checkpoints[-1] if checkpoints else None
+        )
         self.complete = footer is not None
         if not allow_partial:
             if footer is None:
@@ -316,27 +549,7 @@ class TraceArchiveReader:
         return len(self.entries)
 
     def _read_chunk(self, entry: dict) -> Trace:
-        chunk_path = self.path / entry["file"]
-        if not chunk_path.exists():
-            raise ArchiveError(
-                f"truncated trace archive {self.path}: chunk file "
-                f"{entry['file']} is missing"
-            )
-        try:
-            with np.load(chunk_path, allow_pickle=False) as arrays:
-                times = arrays["times"]
-                values = arrays["values"]
-        except (zipfile.BadZipFile, OSError, ValueError, KeyError) as error:
-            raise ArchiveError(
-                f"corrupted chunk {entry['file']} in {self.path}: {error}"
-            ) from None
-        return Trace(
-            times=times,
-            values=values,
-            domain=entry["domain"],
-            quantity=entry["quantity"],
-            label=entry.get("label"),
-        )
+        return read_chunk_entry(self.path, entry)
 
     def iter_chunks(self) -> Iterator[Trace]:
         """Yield chunks in recorded order, one resident at a time.
@@ -366,6 +579,13 @@ class TraceArchiveReader:
                 traceset.add(chunks[0])
                 continue
             first = chunks[0]
+            qualities = [chunk.quality for chunk in chunks]
+            quality = None
+            if any(q is not None for q in qualities):
+                quality = TraceQuality()
+                for q in qualities:
+                    quality = quality.merged(q if q is not None else
+                                             TraceQuality())
             traceset.add(
                 Trace(
                     times=np.concatenate([c.times for c in chunks]),
@@ -373,6 +593,7 @@ class TraceArchiveReader:
                     domain=first.domain,
                     quantity=first.quantity,
                     label=first.label,
+                    quality=quality,
                 )
             )
         return traceset

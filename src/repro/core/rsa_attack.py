@@ -256,15 +256,40 @@ class RsaHammingWeightAttack:
         quantity: str = "current",
         n_samples: int = 35_000,
         sink: Optional[TraceArchiveWriter] = None,
+        resume: bool = False,
     ) -> TraceSet:
         """Acquisition plane: record every test key's trace.
 
         With ``sink`` given each key's trace is appended to the archive
         as soon as its session ends, so the device never holds more
-        than one key's readings plus what is already safely on disk.
+        than one key's readings plus what is already safely on disk;
+        each append is followed by a progress checkpoint.
+
+        With ``resume=True`` (sink reopened via ``TraceArchiveWriter(
+        ..., resume=True)``), keys the interrupted session persisted
+        are loaded back from disk; the sweep continues at the first
+        unrecorded key with the experiment clock advanced exactly as
+        if those keys had just been recorded, so the sealed archive is
+        byte-identical to an uninterrupted sweep's.
         """
+        from repro.core.io import read_chunk_entry
+
+        keys_done = 0
         traces = TraceSet()
-        for weight in weights:
+        if resume:
+            if sink is None:
+                raise ValueError("resume=True needs a sink archive writer")
+            sink.drop_entries_after_checkpoint()
+            state = sink.checkpoint_state or {}
+            keys_done = int(state.get("keys_done", 0))
+            for entry in sink.entries:
+                traces.add(read_chunk_entry(sink.path, entry))
+        for index, weight in enumerate(weights):
+            if index < keys_done:
+                # Advance the clock exactly as record_key did for the
+                # already-persisted run.
+                self._clock += n_samples / self.sampling_hz + 1.0
+                continue
             trace = self.record_key(
                 self.make_circuit(weight),
                 quantity=quantity,
@@ -273,6 +298,13 @@ class RsaHammingWeightAttack:
             traces.add(trace)
             if sink is not None:
                 sink.append(trace)
+                sink.checkpoint(
+                    {
+                        "experiment": "rsa",
+                        "keys_done": index + 1,
+                        "weight": int(weight),
+                    }
+                )
         return traces
 
     def sweep(

@@ -19,11 +19,13 @@ Two real-world effects shape the resulting trace and are modeled here:
 
 from __future__ import annotations
 
-from typing import Iterator, Optional
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 
-from repro.core.traces import Trace
+from repro.core.traces import Trace, TraceQuality
+from repro.faults import RetryPolicy, SensorHealth
+from repro.sensors.hwmon import HwmonError
 from repro.soc.soc import Soc
 from repro.utils.rng import RngLike, spawn
 from repro.utils.validation import (
@@ -31,6 +33,41 @@ from repro.utils.validation import (
     require_non_negative,
     require_positive,
 )
+
+
+class ChannelOutageError(RuntimeError):
+    """A resilient read lost every sample despite the retry budget."""
+
+    def __init__(
+        self, domain: str, quantity: str, message: str, retries: int = 0
+    ):
+        super().__init__(f"{domain}/{quantity}: {message}")
+        self.domain = domain
+        self.quantity = quantity
+        self.retries = retries
+
+
+class ChannelDeadError(ChannelOutageError):
+    """The channel's health machine has pinned it ``dead``."""
+
+
+class StreamInterrupted(RuntimeError):
+    """A :class:`TraceStream`'s device failed mid-session.
+
+    The stream flushes the last good partial chunk first (when any
+    leading samples survived), then raises this on the following
+    ``next()``; ``emitted`` counts every sample delivered before the
+    failure, including that partial chunk.
+    """
+
+    def __init__(self, domain: str, quantity: str, emitted: int, message: str):
+        super().__init__(
+            f"{domain}/{quantity} interrupted after {emitted} samples: "
+            f"{message}"
+        )
+        self.domain = domain
+        self.quantity = quantity
+        self.emitted = emitted
 
 
 class TraceStream:
@@ -80,6 +117,8 @@ class TraceStream:
         )
         self.label = label
         self._emitted = 0
+        self._pending_error: Optional[StreamInterrupted] = None
+        self._terminated = False
         self._running_max = -np.inf
         self._rng = (
             spawn(
@@ -102,7 +141,11 @@ class TraceStream:
         return self
 
     def __next__(self) -> Trace:
-        if self._emitted >= self.n_samples:
+        if self._pending_error is not None:
+            error, self._pending_error = self._pending_error, None
+            self._terminated = True
+            raise error
+        if self._terminated or self._emitted >= self.n_samples:
             raise StopIteration
         count = min(self.chunk_samples, self.n_samples - self._emitted)
         index = np.arange(self._emitted, self._emitted + count)
@@ -116,7 +159,27 @@ class TraceStream:
             times = np.maximum.accumulate(times)
             times = np.maximum(times, self._running_max)
             self._running_max = float(times[-1])
-        values = self.sampler.soc.sample(self.domain, self.quantity, times)
+        quality: Optional[TraceQuality] = None
+        if self.sampler._faults_active(self.domain):
+            try:
+                values, quality = self.sampler._sample_resilient(
+                    self.domain, self.quantity, times
+                )
+            except ChannelDeadError as exc:
+                self._terminated = True
+                error = StreamInterrupted(
+                    self.domain, self.quantity, self._emitted, str(exc)
+                )
+                raise error from exc
+            except ChannelOutageError as exc:
+                return self._flush_partial(times, exc, faulted=True)
+        else:
+            try:
+                values = self.sampler.soc.sample(
+                    self.domain, self.quantity, times
+                )
+            except HwmonError as exc:
+                return self._flush_partial(times, exc, faulted=False)
         self._emitted += count
         self.max_resident_samples = max(self.max_resident_samples, count)
         return Trace(
@@ -125,6 +188,49 @@ class TraceStream:
             domain=self.domain,
             quantity=self.quantity,
             label=self.label,
+            quality=quality,
+        )
+
+    def _flush_partial(
+        self, times: np.ndarray, cause: Exception, faulted: bool
+    ) -> Trace:
+        """Emit the good leading samples of a chunk whose read failed.
+
+        The failing chunk is re-polled through the masked fault path
+        (pointwise identical values) to find the longest good prefix; a
+        :class:`StreamInterrupted` carrying the failure is queued for
+        the following ``next()``.  Raises it immediately when no
+        samples at all survived.
+        """
+        values, transient, gone = self.sampler.soc.sample_faulted(
+            self.domain, self.quantity, times
+        )
+        bad = transient | gone
+        limit = self.sampler.retry_policy.plausible_limit
+        bad |= np.abs(np.asarray(values).astype(np.int64)) > limit
+        prefix = int(np.argmax(bad)) if bad.any() else int(times.size)
+        error = StreamInterrupted(
+            self.domain, self.quantity, self._emitted + prefix, str(cause)
+        )
+        error.__cause__ = cause
+        if prefix == 0:
+            self._terminated = True
+            raise error
+        quality = None
+        if faulted:
+            quality = TraceQuality(
+                health=self.sampler.channel_health(self.domain)
+            )
+        self._pending_error = error
+        self._emitted += prefix
+        self.max_resident_samples = max(self.max_resident_samples, prefix)
+        return Trace(
+            times=times[:prefix],
+            values=values[:prefix],
+            domain=self.domain,
+            quantity=self.quantity,
+            label=self.label,
+            quality=quality,
         )
 
     def __repr__(self) -> str:
@@ -143,6 +249,11 @@ class HwmonSampler:
         poll_jitter: RMS timing jitter of the polling loop in seconds
             (nanosleep + scheduler wakeup noise on a Cortex-A53).
         seed: keys the sampler's jitter stream.
+        retry_policy: how the resilient read path reacts to injected
+            faults (bounded retries, deterministic backoff,
+            plausibility gate, gap interpolation).  Only consulted
+            when a device has a live :class:`repro.faults.FaultPlan`
+            armed; the fault-free fast path is untouched.
     """
 
     def __init__(
@@ -150,12 +261,151 @@ class HwmonSampler:
         soc: Soc,
         poll_jitter: float = 120e-6,
         seed: RngLike = None,
+        retry_policy: Optional[RetryPolicy] = None,
     ):
         if not isinstance(soc, Soc):
             raise TypeError("soc must be a repro.soc.Soc")
         self.soc = soc
         self.poll_jitter = require_non_negative(poll_jitter, "poll_jitter")
         self._seed = seed
+        self.retry_policy = (
+            retry_policy if retry_policy is not None else RetryPolicy()
+        )
+        self._health: Dict[str, SensorHealth] = {}
+
+    # --------------------------------------------------- resilient plumbing
+
+    def _faults_active(self, domain: str) -> bool:
+        """True when this domain's device has a live fault plan armed."""
+        return bool(getattr(self.soc.device(domain), "faults_active", False))
+
+    def _health_for(self, domain: str) -> SensorHealth:
+        health = self._health.get(domain)
+        if health is None:
+            health = SensorHealth(self.retry_policy.dead_after_outages)
+            self._health[domain] = health
+        return health
+
+    def channel_health(self, domain: str) -> str:
+        """Current health state of one domain's sensor."""
+        return self._health_for(domain).state
+
+    def force_dead(self, domain: str) -> None:
+        """Pin one domain's sensor dead (a confirmed-unbound device)."""
+        self._health_for(domain).force_dead()
+
+    def reset_health(self) -> None:
+        """Forget all channel health history."""
+        for health in self._health.values():
+            health.reset()
+
+    def _sample_resilient(
+        self,
+        domain: str,
+        quantity: str,
+        times: np.ndarray,
+        record_health: bool = True,
+    ):
+        """One fault-aware read: retry, plausibility-gate, interpolate.
+
+        Returns ``(values, TraceQuality)``.  Bad samples (transient
+        errors, hotplug windows, torn readings caught by the
+        plausibility gate) are re-read at deterministically backed-off
+        simulated times — the fault schedule is a pure function of the
+        poll time, so a shifted retry draws a fresh outcome and the
+        whole recovery is identical across runs, chunk sizes, and
+        worker counts.  Polls still bad after the retry budget become
+        gaps, linearly interpolated from the chunk's good samples when
+        the policy allows (interpolation uses within-chunk neighbors,
+        so recovered values are chunking-dependent; schedules and
+        per-poll outcomes are not).
+
+        Raises :class:`ChannelDeadError` when the channel's health is
+        pinned dead, :class:`ChannelOutageError` when a read loses
+        every sample.
+        """
+        policy = self.retry_policy
+        health = self._health_for(domain)
+        if health.is_dead:
+            raise ChannelDeadError(
+                domain, quantity, "channel health is pinned dead"
+            )
+        times = np.asarray(times, dtype=np.float64)
+        total = int(times.size)
+        values, transient, gone = self.soc.sample_faulted(
+            domain, quantity, times
+        )
+        values = np.array(values)
+        torn = np.abs(values.astype(np.int64)) > policy.plausible_limit
+        bad = transient | gone | torn
+        faults_seen = int(bad.sum())
+        retries = 0
+        offset = 0.0
+        for attempt in range(policy.max_retries):
+            if not bad.any():
+                break
+            offset += policy.backoff(attempt)
+            idx = np.flatnonzero(bad)
+            retry_values, retry_transient, retry_gone = (
+                self.soc.sample_faulted(domain, quantity, times[idx] + offset)
+            )
+            retry_values = np.asarray(retry_values)
+            retry_torn = (
+                np.abs(retry_values.astype(np.int64)) > policy.plausible_limit
+            )
+            retry_bad = retry_transient | retry_gone | retry_torn
+            recovered = idx[~retry_bad]
+            values[recovered] = retry_values[~retry_bad]
+            bad[recovered] = False
+            retries += int(idx.size)
+        gaps = int(bad.sum())
+        good = ~bad
+        if gaps >= total:
+            if record_health:
+                health.note_read(faults_seen, gaps, total)
+                if health.is_dead:
+                    raise ChannelDeadError(
+                        domain,
+                        quantity,
+                        f"dead after repeated outages "
+                        f"({retries} retries exhausted)",
+                        retries=retries,
+                    )
+            raise ChannelOutageError(
+                domain,
+                quantity,
+                f"all {total} samples lost after {retries} retries",
+                retries=retries,
+            )
+        interpolated = 0
+        if gaps:
+            if policy.interpolate_gaps:
+                filled = np.interp(
+                    times[bad], times[good], values[good].astype(np.float64)
+                )
+                values[bad] = np.rint(filled).astype(values.dtype)
+                interpolated = gaps
+            else:
+                # Sample-and-hold: repeat the nearest preceding good
+                # poll (the first good poll for leading gaps).
+                good_idx = np.flatnonzero(good)
+                pos = np.searchsorted(
+                    good_idx, np.flatnonzero(bad), side="right"
+                ) - 1
+                pos = np.clip(pos, 0, good_idx.size - 1)
+                values[bad] = values[good_idx[pos]]
+        state = (
+            health.note_read(faults_seen, gaps, total)
+            if record_health
+            else health.state
+        )
+        quality = TraceQuality(
+            retries=retries,
+            gaps=gaps,
+            interpolated=interpolated,
+            health=state,
+        )
+        return values, quality
 
     def poll_times(
         self,
@@ -208,13 +458,18 @@ class HwmonSampler:
         times = self.poll_times(
             start, n_samples, poll_hz, stream=f"{domain}-{quantity}"
         )
-        values = self.soc.sample(domain, quantity, times)
+        if self._faults_active(domain):
+            values, quality = self._sample_resilient(domain, quantity, times)
+        else:
+            values = self.soc.sample(domain, quantity, times)
+            quality = None
         return Trace(
             times=times,
             values=values,
             domain=domain,
             quantity=quantity,
             label=label,
+            quality=quality,
         )
 
     def stream(
@@ -275,6 +530,7 @@ class HwmonSampler:
         duration: Optional[float] = None,
         n_samples: Optional[int] = None,
         label: Optional[str] = None,
+        on_dead: str = "raise",
     ) -> dict:
         """Record several channels over one window in a single pass.
 
@@ -285,7 +541,18 @@ class HwmonSampler:
         from one conversion pass over their combined latch windows.
         The returned traces are bit-identical to one :meth:`collect`
         call per channel.
+
+        With a live fault plan armed, each channel instead goes
+        through the resilient read path.  ``on_dead`` picks the
+        degraded-mode behavior when a channel is dead or suffers a
+        total outage: ``"raise"`` propagates the error, ``"drop"``
+        omits that channel from the result (so callers can see which
+        channels were lost by comparing keys against the request).
         """
+        if on_dead not in ("raise", "drop"):
+            raise ValueError(
+                f"on_dead must be 'raise' or 'drop', got {on_dead!r}"
+            )
         channels = [tuple(channel) for channel in channels]
         if not channels:
             raise ValueError("need at least one channel")
@@ -305,17 +572,44 @@ class HwmonSampler:
                 poll_hz,
                 stream=f"{domain}-{quantity}",
             )
-        values = self.soc.sample_many(channels, times_by_channel)
-        return {
-            (domain, quantity): Trace(
-                times=times_by_channel[(domain, quantity)],
-                values=values[(domain, quantity)],
+        if not any(self._faults_active(domain) for domain, _ in channels):
+            values = self.soc.sample_many(channels, times_by_channel)
+            return {
+                (domain, quantity): Trace(
+                    times=times_by_channel[(domain, quantity)],
+                    values=values[(domain, quantity)],
+                    domain=domain,
+                    quantity=quantity,
+                    label=label,
+                )
+                for domain, quantity in channels
+            }
+        traces = {}
+        for domain, quantity in channels:
+            times = times_by_channel[(domain, quantity)]
+            try:
+                values, quality = self._sample_resilient(
+                    domain, quantity, times
+                )
+            except ChannelOutageError:
+                if on_dead == "drop":
+                    continue
+                raise
+            traces[(domain, quantity)] = Trace(
+                times=times,
+                values=values,
                 domain=domain,
                 quantity=quantity,
                 label=label,
+                quality=quality,
             )
-            for domain, quantity in channels
-        }
+        if not traces:
+            raise ChannelOutageError(
+                channels[0][0],
+                channels[0][1],
+                f"every requested channel is dead ({len(channels)} dropped)",
+            )
+        return traces
 
     def collect_concurrent(
         self,

@@ -17,6 +17,87 @@ import numpy as np
 
 
 @dataclass(frozen=True)
+class TraceQuality:
+    """Acquisition-quality metadata for one trace (or trace chunk).
+
+    Recorded by the resilient sampling path when fault injection is
+    armed; ``None`` on a :class:`Trace` means the trace was captured on
+    the fast path with no faults scheduled, and every serialization
+    layer omits it in that case so fault-free artifacts stay
+    bit-identical to pre-resilience ones.
+
+    Attributes:
+        retries: total re-reads issued while recovering bad samples.
+        gaps: samples still unrecovered after the retry budget.
+        interpolated: gap samples filled from neighboring good polls
+            (always <= ``gaps``; the difference was left as-is because
+            interpolation was disabled or impossible).
+        health: the channel's health state after this read
+            (``"healthy"`` / ``"flaky"`` / ``"dead"``).
+    """
+
+    retries: int = 0
+    gaps: int = 0
+    interpolated: int = 0
+    health: str = "healthy"
+
+    def __post_init__(self):
+        for name in ("retries", "gaps", "interpolated"):
+            count = getattr(self, name)
+            if not isinstance(count, int) or count < 0:
+                raise ValueError(f"{name} must be a non-negative int")
+        if self.interpolated > self.gaps:
+            raise ValueError("interpolated cannot exceed gaps")
+        if self.health not in ("healthy", "flaky", "dead"):
+            raise ValueError(
+                f"health must be 'healthy', 'flaky', or 'dead'; "
+                f"got {self.health!r}"
+            )
+
+    @property
+    def clean(self) -> bool:
+        """True when the read needed no recovery at all."""
+        return (
+            self.retries == 0
+            and self.gaps == 0
+            and self.health == "healthy"
+        )
+
+    def merged(self, other: "TraceQuality") -> "TraceQuality":
+        """Combine per-chunk quality into session-level quality.
+
+        Counters add; the health field keeps the *later* chunk's state
+        (health is a running property of the channel, so the last
+        observation wins).
+        """
+        return TraceQuality(
+            retries=self.retries + other.retries,
+            gaps=self.gaps + other.gaps,
+            interpolated=self.interpolated + other.interpolated,
+            health=other.health,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready form for archive manifests."""
+        return {
+            "retries": self.retries,
+            "gaps": self.gaps,
+            "interpolated": self.interpolated,
+            "health": self.health,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "TraceQuality":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            retries=int(payload.get("retries", 0)),
+            gaps=int(payload.get("gaps", 0)),
+            interpolated=int(payload.get("interpolated", 0)),
+            health=str(payload.get("health", "healthy")),
+        )
+
+
+@dataclass(frozen=True)
 class Trace:
     """One recorded side-channel trace.
 
@@ -26,6 +107,8 @@ class Trace:
         domain: sensor domain key (``"fpga"``, ``"ddr"``, ...).
         quantity: ``"current"``, ``"voltage"`` or ``"power"``.
         label: ground-truth tag (victim model name) when known.
+        quality: acquisition metadata from the resilient sampling
+            path; ``None`` for fault-free fast-path captures.
     """
 
     times: np.ndarray
@@ -33,6 +116,7 @@ class Trace:
     domain: str
     quantity: str
     label: Optional[str] = None
+    quality: Optional[TraceQuality] = None
 
     def __post_init__(self):
         times = np.asarray(self.times, dtype=np.float64)
@@ -76,6 +160,7 @@ class Trace:
             domain=self.domain,
             quantity=self.quantity,
             label=self.label,
+            quality=self.quality,
         )
 
     def relabeled(self, label: str) -> "Trace":
@@ -86,6 +171,7 @@ class Trace:
             domain=self.domain,
             quantity=self.quantity,
             label=label,
+            quality=self.quality,
         )
 
     def __repr__(self) -> str:

@@ -19,21 +19,32 @@ this package holds the shared machinery:
 """
 
 from repro.perf.config import (
+    FAULT_RATE_ENV,
     WORKERS_ENV,
     available_cpus,
+    fault_rate_from_env,
     resolve_workers,
 )
 from repro.perf.executor import in_worker, parallel_map
 from repro.perf.timer import StageTimer
-from repro.perf.bench import run_fingerprint_bench, write_bench_json
+from repro.perf.bench import (
+    DEFAULT_FAULT_RATES,
+    run_fault_sweep,
+    run_fingerprint_bench,
+    write_bench_json,
+)
 
 __all__ = [
+    "FAULT_RATE_ENV",
     "WORKERS_ENV",
     "available_cpus",
+    "fault_rate_from_env",
     "resolve_workers",
     "in_worker",
     "parallel_map",
     "StageTimer",
+    "DEFAULT_FAULT_RATES",
+    "run_fault_sweep",
     "run_fingerprint_bench",
     "write_bench_json",
 ]

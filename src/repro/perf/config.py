@@ -16,6 +16,10 @@ them):
 * ``AMPEREBLEED_FULL`` — via :func:`full_scale`.  Opt-in to
   paper-scale benchmark configurations (10 k samples per level,
   100-tree forests, 10-fold CV) instead of the minutes-range defaults.
+* ``AMPEREBLEED_FAULT_RATE`` — via :func:`fault_rate_from_env`.  A
+  rate in [0, 1] that arms :meth:`repro.faults.FaultPlan.at_rate` on
+  every session built without an explicit ``faults=`` argument (unset
+  or ``0`` means no fault injection).
 """
 
 from __future__ import annotations
@@ -28,6 +32,9 @@ WORKERS_ENV = "AMPEREBLEED_WORKERS"
 
 #: Environment variable opting benches into full paper scale.
 FULL_ENV = "AMPEREBLEED_FULL"
+
+#: Environment variable arming a default fault-injection rate.
+FAULT_RATE_ENV = "AMPEREBLEED_FAULT_RATE"
 
 #: Hard cap: more workers than this is always a configuration mistake.
 MAX_WORKERS = 256
@@ -42,6 +49,29 @@ def full_scale() -> bool:
     return os.environ.get(FULL_ENV, "").strip().lower() in (
         "1", "true", "yes", "on"
     )
+
+
+def fault_rate_from_env() -> float:
+    """The fault rate ``AMPEREBLEED_FAULT_RATE`` requests (default 0).
+
+    Sessions built without an explicit ``faults=`` argument arm
+    :meth:`repro.faults.FaultPlan.at_rate` at this rate; ``0`` (or an
+    unset variable) arms nothing.
+    """
+    env = os.environ.get(FAULT_RATE_ENV, "").strip()
+    if not env:
+        return 0.0
+    try:
+        rate = float(env)
+    except ValueError:
+        raise ValueError(
+            f"{FAULT_RATE_ENV} must be a float in [0, 1], got {env!r}"
+        ) from None
+    if not (0.0 <= rate <= 1.0):
+        raise ValueError(
+            f"{FAULT_RATE_ENV} must be in [0, 1], got {rate}"
+        )
+    return rate
 
 
 def available_cpus() -> int:

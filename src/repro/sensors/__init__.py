@@ -7,7 +7,9 @@ from repro.sensors.hwmon import (
     HwmonError,
     HwmonLookupError,
     HwmonPermissionError,
+    HwmonTransientError,
     HwmonTree,
+    HwmonValueError,
 )
 from repro.sensors.pmbus import (
     DIE_ID,
@@ -43,7 +45,9 @@ __all__ = [
     "HwmonError",
     "HwmonLookupError",
     "HwmonPermissionError",
+    "HwmonTransientError",
     "HwmonTree",
+    "HwmonValueError",
     "AVERAGING_COUNTS",
     "BUS_LSB_VOLTS",
     "CONVERSION_TIMES",

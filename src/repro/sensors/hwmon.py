@@ -54,6 +54,23 @@ class HwmonLookupError(HwmonError):
     """Raised for unknown devices or attributes (ENOENT)."""
 
 
+class HwmonValueError(HwmonError, ValueError):
+    """Raised when a write carries an invalid or out-of-range value.
+
+    Subclasses :class:`ValueError` too, so callers validating inputs
+    generically keep working.
+    """
+
+
+class HwmonTransientError(HwmonError):
+    """A transient read failure (EAGAIN/EIO) — retrying may succeed.
+
+    Only raised while a :class:`repro.faults.FaultPlan` is armed; the
+    resilient sampler catches these per sample via
+    :meth:`HwmonDevice.read_series_faulted` instead.
+    """
+
+
 class HwmonDevice:
     """One ``hwmonN`` directory backed by an INA226 on a power rail.
 
@@ -97,6 +114,11 @@ class HwmonDevice:
         # ("stale", t_hang) — conversions stop at t_hang (I2C hang);
         # ("unbind", t_gone) — reads fail after t_gone (driver unbind).
         self._failure: Optional[Tuple[str, float]] = None
+        # Scheduled fault injection: a repro.faults.FaultPlan armed at
+        # this read boundary.  A None/no-op plan costs one attribute
+        # check per read — the no-fault path stays bit-identical.
+        self._fault_plan = None
+        self._fault_key = 0
 
     @property
     def path(self) -> str:
@@ -130,14 +152,41 @@ class HwmonDevice:
         """Disarm any injected failure."""
         self._failure = None
 
+    def arm_faults(self, plan) -> None:
+        """Arm (or with ``None`` disarm) a scheduled fault plan.
+
+        ``plan`` is a :class:`repro.faults.FaultPlan`; a no-op plan
+        (``FaultPlan.none()``) is stored but never evaluated, so every
+        read stays bit-identical to an unarmed device.
+        """
+        self._fault_plan = plan
+        self._fault_key = 0 if plan is None else plan.device_key(self.name)
+
+    @property
+    def fault_plan(self):
+        """The armed fault plan, or ``None``."""
+        return self._fault_plan
+
+    @property
+    def faults_active(self) -> bool:
+        """True when an armed plan can actually perturb reads."""
+        return self._fault_plan is not None and not self._fault_plan.is_noop
+
     def latch_index(self, times: np.ndarray) -> np.ndarray:
         """Index of the conversion whose result is visible at each time."""
         times = np.atleast_1d(np.asarray(times, dtype=np.float64))
         if self._failure is not None and self._failure[0] == "stale":
             times = np.minimum(times, self._failure[1])
-        return np.floor((times - self.phase) / self.update_period).astype(
-            np.int64
-        )
+        latches = np.floor(
+            (times - self.phase) / self.update_period
+        ).astype(np.int64)
+        if self.faults_active:
+            # Value-shaping faults: update_interval flips and
+            # stale-latch runs move which conversion a poll observes.
+            latches = self._fault_plan.shape_latches(
+                self._fault_key, latches, times
+            )
+        return latches
 
     def _convert_latches(self, latches: np.ndarray) -> Ina226Reading:
         """Run conversions for an array of latch indices (may repeat)."""
@@ -183,16 +232,18 @@ class HwmonDevice:
         )
 
     def _check_series_request(
-        self, attribute: str, times: np.ndarray
+        self,
+        attribute: str,
+        times: np.ndarray,
+        raise_on_unbind: bool = True,
     ) -> np.ndarray:
         """Validate one (attribute, times) poll; returns clean times."""
         times = np.atleast_1d(np.asarray(times, dtype=np.float64))
-        if self._failure is not None and self._failure[0] == "unbind":
-            if np.any(times >= self._failure[1]):
-                raise HwmonLookupError(
-                    f"{self.path}/{attribute}: no such device "
-                    f"(driver unbound)"
-                )
+        if raise_on_unbind and self._unbound_mask(times).any():
+            raise HwmonLookupError(
+                f"{self.path}/{attribute}: no such device "
+                f"(driver unbound)"
+            )
         if attribute == "update_interval":
             return times
         if attribute not in self.READABLE_ATTRS or attribute == "name":
@@ -200,6 +251,12 @@ class HwmonDevice:
                 f"{self.path}/{attribute}: not a readable numeric attribute"
             )
         return times
+
+    def _unbound_mask(self, times: np.ndarray) -> np.ndarray:
+        """Polls at or past an injected driver unbind (legacy ENOENT)."""
+        if self._failure is not None and self._failure[0] == "unbind":
+            return times >= self._failure[1]
+        return np.zeros(times.shape, dtype=bool)
 
     def _attribute_values(
         self, attribute: str, reading: Ina226Reading
@@ -221,7 +278,28 @@ class HwmonDevice:
 
         ``curr1_input`` in mA, ``in0_input``/``in1_input`` in mV,
         ``power1_input`` in uW, ``update_interval`` in ms.
+
+        With an active fault plan this is the *naive* poll loop's view:
+        torn values arrive silently corrupted, while the first
+        transient error raises :class:`HwmonTransientError` and the
+        first hotplug window raises :class:`HwmonLookupError` — the
+        resilient sampler uses :meth:`read_series_faulted` instead.
         """
+        if self.faults_active:
+            values, transient, gone = self.read_series_faulted(
+                attribute, times
+            )
+            if gone.any():
+                raise HwmonLookupError(
+                    f"{self.path}/{attribute}: no such device "
+                    f"(sensor hotplug window)"
+                )
+            if transient.any():
+                raise HwmonTransientError(
+                    f"{self.path}/{attribute}: resource temporarily "
+                    f"unavailable (EAGAIN)"
+                )
+            return values
         times = self._check_series_request(attribute, times)
         if attribute == "update_interval":
             return np.full(
@@ -229,6 +307,41 @@ class HwmonDevice:
             )
         reading = self.readings_at(times)
         return self._attribute_values(attribute, reading)
+
+    def read_series_faulted(
+        self, attribute: str, times: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One poll series with per-sample fault annotations.
+
+        Returns ``(values, transient, gone)``: the attribute values
+        (torn polls already corrupted in place, value-shaping faults
+        applied), a boolean mask of transient EAGAIN/EIO failures, and
+        a boolean mask of ENOENT polls (hotplug windows and injected
+        driver unbinds).  Values under a raised mask are what the
+        kernel *would* have served; a caller honoring the sysfs ABI
+        must treat them as unread.  Never raises for scheduled faults,
+        so a resilient poll loop can retry sample by sample.
+        """
+        times = self._check_series_request(
+            attribute, times, raise_on_unbind=False
+        )
+        if attribute == "update_interval":
+            values = np.full(
+                times.shape, round(self.update_period * 1e3), dtype=np.int64
+            )
+        else:
+            reading = self.readings_at(times)
+            values = self._attribute_values(attribute, reading)
+        gone = self._unbound_mask(times)
+        if not self.faults_active:
+            return values, np.zeros(times.shape, dtype=bool), gone
+        plan = self._fault_plan
+        key = self._fault_key
+        gone = gone | plan.hotplug_mask(key, times)
+        transient = plan.transient_mask(key, times) & ~gone
+        torn = plan.torn_mask(key, times) & ~gone & ~transient
+        values = plan.torn_values(key, values, times, torn)
+        return values, transient, gone
 
     def read_series_batch(self, requests) -> List[np.ndarray]:
         """Serve several ``(attribute, times)`` polls in one pass.
@@ -239,7 +352,16 @@ class HwmonDevice:
         of its latch index, the results are bit-identical to issuing
         one :meth:`read_series` per request — concurrent sampling
         threads and this batched path observe the same registers.
+
+        With an active fault plan the batched union pass is skipped:
+        each request runs through :meth:`read_series` so faults hit
+        (and raise) exactly as they would per request.
         """
+        if self.faults_active:
+            return [
+                self.read_series(attribute, times)
+                for attribute, times in requests
+            ]
         prepared = [
             (attribute, self._check_series_request(attribute, times))
             for attribute, times in requests
@@ -307,13 +429,20 @@ class HwmonDevice:
                 f"{self.path}/update_interval: permission denied "
                 f"(root required)"
             )
-        interval_ms = int(value)
+        try:
+            interval_ms = int(value)
+        except (TypeError, ValueError):
+            raise HwmonValueError(
+                f"{self.path}/update_interval: invalid value {value!r} "
+                f"(expected an integer millisecond count)"
+            ) from None
         if not (
             MIN_UPDATE_INTERVAL_MS <= interval_ms <= MAX_UPDATE_INTERVAL_MS
         ):
-            raise ValueError(
-                f"update_interval must be in "
-                f"[{MIN_UPDATE_INTERVAL_MS}, {MAX_UPDATE_INTERVAL_MS}] ms"
+            raise HwmonValueError(
+                f"{self.path}/update_interval: {interval_ms} ms is outside "
+                f"the supported range [{MIN_UPDATE_INTERVAL_MS}, "
+                f"{MAX_UPDATE_INTERVAL_MS}] ms for this INA226"
             )
         self.sensor.config = Ina226Config.for_update_period(interval_ms / 1e3)
 

@@ -80,17 +80,47 @@ class AttackSession:
         seed: Optional[int] = 0,
         poll_jitter: float = 120e-6,
         hardening=None,
+        faults=None,
+        retry_policy=None,
     ) -> "AttackSession":
         """Build a session on a fresh simulated board.
 
         This is the one place the library constructs the
         SoC-plus-sampler pair, so every pipeline derives its noise
         streams identically.
+
+        ``faults`` arms deterministic fault injection on every hwmon
+        device: a :class:`repro.faults.FaultPlan`, a rate in [0, 1]
+        (shorthand for :meth:`FaultPlan.at_rate`), or ``None`` to
+        consult ``AMPEREBLEED_FAULT_RATE`` (unset or 0 arms nothing
+        and keeps the bit-identical fast path).  ``retry_policy``
+        configures the sampler's resilient read loop.
         """
         seed = normalize_seed(seed)
         soc = Soc(board, seed=seed, hardening=hardening)
-        sampler = HwmonSampler(soc, poll_jitter=poll_jitter, seed=seed)
-        return cls(soc, sampler=sampler, seed=seed)
+        sampler = HwmonSampler(
+            soc, poll_jitter=poll_jitter, seed=seed,
+            retry_policy=retry_policy,
+        )
+        session = cls(soc, sampler=sampler, seed=seed)
+        session.arm_faults(faults)
+        return session
+
+    def arm_faults(self, faults=None):
+        """Arm (or re-arm) fault injection on this session's devices.
+
+        Accepts the same spellings as :meth:`create`'s ``faults``
+        argument; the resolved plan (or ``None`` when nothing was
+        armed) is returned.  The plan's per-device schedule is keyed by
+        its own seed — by default derived from the session seed, so
+        sessions with different seeds fail differently.
+        """
+        from repro.faults import resolve_fault_plan
+
+        plan = resolve_fault_plan(faults, seed=self.derive("faults"))
+        if plan is not None:
+            self.soc.arm_faults(plan)
+        return plan
 
     @property
     def board(self) -> BoardSpec:

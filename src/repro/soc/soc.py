@@ -131,6 +131,7 @@ class Soc:
         self.sensor_specs: List[SensorSpec] = list(sensors)
 
         self.fabric = Fabric(board)
+        self.fault_plan = None
         self.rails: Dict[str, PowerRail] = {}
         self.hwmon = HwmonTree()
         self._device_by_designator: Dict[str, HwmonDevice] = {}
@@ -208,6 +209,19 @@ class Soc:
         for rail in self.rails.values():
             rail.clear()
 
+    # ---------------------------------------------------------- faults
+
+    def arm_faults(self, plan) -> None:
+        """Arm one :class:`repro.faults.FaultPlan` on every hwmon device.
+
+        Each device derives its own fault key from the plan seed and
+        its name, so devices fail independently but deterministically.
+        ``None`` (or a no-op plan) disarms/changes nothing observable.
+        """
+        self.fault_plan = plan
+        for device in self.hwmon.devices():
+            device.arm_faults(plan)
+
     # -------------------------------------------------------- sampling
 
     def sample(
@@ -237,6 +251,35 @@ class Soc:
                 values, times, f"{domain}-{quantity}"
             )
         return values
+
+    def sample_faulted(
+        self,
+        domain: str,
+        quantity: str,
+        times: np.ndarray,
+        privileged: bool = False,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Poll one channel with per-sample fault annotations.
+
+        The resilient counterpart of :meth:`sample`: returns
+        ``(values, transient, gone)`` from :meth:`repro.sensors.hwmon.
+        HwmonDevice.read_series_faulted` with any hardening policy
+        applied to the values, never raising for scheduled faults.
+        """
+        require_one_of(quantity, QUANTITY_ATTRS, "quantity")
+        times = np.asarray(times, dtype=np.float64)
+        if self.hardening is not None:
+            self.hardening.check_access(privileged)
+            times = self.hardening.effective_times(times)
+        device = self.device(domain)
+        values, transient, gone = device.read_series_faulted(
+            QUANTITY_ATTRS[quantity], times
+        )
+        if self.hardening is not None:
+            values = self.hardening.transform(
+                values, times, f"{domain}-{quantity}"
+            )
+        return values, transient, gone
 
     def sample_many(
         self,

@@ -1,0 +1,419 @@
+"""Checkpoint/resume: interrupted recordings finish byte-identically.
+
+The contract: every recording loop (fingerprint dataset collection,
+the RSA sweep, the end-to-end campaign) checkpoints its progress into
+the v2 archive manifest, and a run killed at any point — torn manifest
+tail, orphaned chunk file, half-finished multi-chunk unit — resumes
+from its last checkpoint and seals an archive *byte-identical* to an
+uninterrupted run's.  Corruption that cannot be safely rolled back
+(mid-manifest damage, a sealed archive) is refused with a clear
+:class:`~repro.core.io.ArchiveError`, never silently patched.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.fingerprint import DnnFingerprinter, FingerprintConfig
+from repro.core.io import (
+    ArchiveError,
+    TraceArchiveReader,
+    TraceArchiveWriter,
+)
+from repro.core.rsa_attack import RsaHammingWeightAttack
+from repro.session import AttackSession
+
+pytestmark = pytest.mark.faults
+
+MODELS = ["resnet-50", "vgg-16", "mobilenet-v2-1.0"]
+CONFIG = dict(duration=1.0, traces_per_model=3, n_folds=2, forest_trees=5)
+CHANNELS = [("fpga", "current"), ("ddr", "current")]
+
+
+def tree_hash(root) -> str:
+    """One digest over every file in an archive directory."""
+    digest = hashlib.sha256()
+    for path in sorted(Path(root).rglob("*")):
+        if path.is_file():
+            digest.update(path.name.encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+class Bomb(Exception):
+    """The injected mid-recording crash."""
+
+
+def _explode_after(writer, n_appends):
+    """Make the writer's append crash after ``n_appends`` successes."""
+    real_append = writer.append
+    state = {"left": n_appends}
+
+    def append(*args, **kwargs):
+        if state["left"] == 0:
+            raise Bomb()
+        state["left"] -= 1
+        return real_append(*args, **kwargs)
+
+    writer.append = append
+
+
+def _fingerprinter(sink_resume=False):
+    session = AttackSession.create(seed=5)
+    return DnnFingerprinter(
+        session=session, config=FingerprintConfig(**CONFIG)
+    )
+
+
+class TestFingerprintResume:
+    def _record_uninterrupted(self, out):
+        fingerprinter = _fingerprinter()
+        with TraceArchiveWriter(out, meta={"experiment": "test"}) as writer:
+            datasets = fingerprinter.collect_datasets(
+                models=MODELS, channels=CHANNELS, sink=writer
+            )
+        return datasets
+
+    def test_killed_run_resumes_byte_identical(self, tmp_path):
+        clean, broken = tmp_path / "clean", tmp_path / "broken"
+        reference = self._record_uninterrupted(clean)
+
+        writer = TraceArchiveWriter(broken, meta={"experiment": "test"})
+        _explode_after(writer, n_appends=5)
+        with pytest.raises(Bomb):
+            with writer:
+                _fingerprinter().collect_datasets(
+                    models=MODELS, channels=CHANNELS, sink=writer
+                )
+
+        resumed_writer = TraceArchiveWriter(
+            broken, meta={"experiment": "test"}, resume=True
+        )
+        with resumed_writer:
+            resumed = _fingerprinter().collect_datasets(
+                models=MODELS,
+                channels=CHANNELS,
+                sink=resumed_writer,
+                resume=True,
+            )
+
+        assert tree_hash(clean) == tree_hash(broken)
+        for channel in reference:
+            for a, b in zip(reference[channel], resumed[channel]):
+                np.testing.assert_array_equal(a.values, b.values)
+                np.testing.assert_array_equal(a.times, b.times)
+
+    def test_resumed_analysis_matches(self, tmp_path):
+        clean, broken = tmp_path / "clean", tmp_path / "broken"
+        reference = self._record_uninterrupted(clean)
+        writer = TraceArchiveWriter(broken, meta={"experiment": "test"})
+        _explode_after(writer, n_appends=3)
+        with pytest.raises(Bomb):
+            with writer:
+                _fingerprinter().collect_datasets(
+                    models=MODELS, channels=CHANNELS, sink=writer
+                )
+        resumed_writer = TraceArchiveWriter(
+            broken, meta={"experiment": "test"}, resume=True
+        )
+        with resumed_writer:
+            resumed = _fingerprinter().collect_datasets(
+                models=MODELS,
+                channels=CHANNELS,
+                sink=resumed_writer,
+                resume=True,
+            )
+        fingerprinter = _fingerprinter()
+        a = fingerprinter.evaluate_channel(reference[("fpga", "current")])
+        b = fingerprinter.evaluate_channel(resumed[("fpga", "current")])
+        assert a.top1 == b.top1
+        assert a.top5 == b.top5
+
+    def test_resume_without_sink_rejected(self):
+        with pytest.raises(ValueError, match="sink"):
+            _fingerprinter().collect_datasets(
+                models=MODELS, channels=CHANNELS, resume=True
+            )
+
+
+class TestRsaResume:
+    WEIGHTS = (4, 8, 12)
+
+    def _attack(self):
+        return RsaHammingWeightAttack(
+            session=AttackSession.create(seed=5)
+        )
+
+    def test_killed_sweep_resumes_byte_identical(self, tmp_path):
+        clean, broken = tmp_path / "clean", tmp_path / "broken"
+        attack = self._attack()
+        with TraceArchiveWriter(
+            clean, meta=attack.archive_meta(weights=self.WEIGHTS)
+        ) as writer:
+            reference = attack.collect_sweep(
+                weights=self.WEIGHTS, n_samples=300, sink=writer
+            )
+
+        attack = self._attack()
+        writer = TraceArchiveWriter(
+            broken, meta=attack.archive_meta(weights=self.WEIGHTS)
+        )
+        _explode_after(writer, n_appends=1)
+        with pytest.raises(Bomb):
+            with writer:
+                attack.collect_sweep(
+                    weights=self.WEIGHTS, n_samples=300, sink=writer
+                )
+
+        attack = self._attack()
+        writer = TraceArchiveWriter(
+            broken,
+            meta=attack.archive_meta(weights=self.WEIGHTS),
+            resume=True,
+        )
+        with writer:
+            resumed = attack.collect_sweep(
+                weights=self.WEIGHTS,
+                n_samples=300,
+                sink=writer,
+                resume=True,
+            )
+        assert tree_hash(clean) == tree_hash(broken)
+        for a, b in zip(reference, resumed):
+            assert a.label == b.label
+            np.testing.assert_array_equal(a.values, b.values)
+
+    def test_resume_requires_sink(self):
+        with pytest.raises(ValueError, match="sink"):
+            self._attack().collect_sweep(
+                weights=self.WEIGHTS, n_samples=300, resume=True
+            )
+
+
+class TestCampaignResume:
+    def _campaign(self):
+        from repro.core.campaign import AttackCampaign
+        from repro.soc.workload import PiecewiseActivity
+
+        session = AttackSession.create(seed=5)
+        session.soc.attach_workload(
+            "fpga",
+            "victim",
+            PiecewiseActivity([0.0, 2.0, 1e9], [0.0, 3.0]),
+        )
+        return AttackCampaign(session=session)
+
+    def test_killed_campaign_resumes_byte_identical(self, tmp_path):
+        clean, broken = tmp_path / "clean", tmp_path / "broken"
+        kwargs = dict(
+            victim_start=2.0,
+            trace_duration=3.0,
+            timeout=20.0,
+            chunk_duration=1.0,
+        )
+        reference = self._campaign().run_archived(clean, **kwargs)
+
+        campaign = self._campaign()
+        writer_cls = TraceArchiveWriter
+
+        original_append = writer_cls.append
+        counter = {"left": 1}
+
+        def bombed_append(self, *args, **kw):
+            if counter["left"] == 0:
+                raise Bomb()
+            counter["left"] -= 1
+            return original_append(self, *args, **kw)
+
+        try:
+            writer_cls.append = bombed_append
+            with pytest.raises(Bomb):
+                campaign.run_archived(broken, **kwargs)
+        finally:
+            writer_cls.append = original_append
+
+        resumed = self._campaign().run_archived(
+            broken, resume=True, **kwargs
+        )
+        assert tree_hash(clean) == tree_hash(broken)
+        np.testing.assert_array_equal(reference.values, resumed.values)
+        np.testing.assert_array_equal(reference.times, resumed.times)
+
+
+class TestArchiveRecovery:
+    """What the writer accepts, repairs, or refuses on resume."""
+
+    def _partial_archive(self, out, n_appends=2):
+        attack = RsaHammingWeightAttack(session=AttackSession.create(seed=5))
+        writer = TraceArchiveWriter(out, meta={"experiment": "test"})
+        _explode_after(writer, n_appends=n_appends)
+        with pytest.raises(Bomb):
+            with writer:
+                attack.collect_sweep(
+                    weights=(4, 8, 12), n_samples=300, sink=writer
+                )
+        return out
+
+    def test_torn_manifest_tail_is_truncated(self, tmp_path):
+        out = self._partial_archive(tmp_path / "arch")
+        manifest = out / "manifest.jsonl"
+        intact = manifest.read_text()
+        manifest.write_text(intact + '{"chunk": "torn-mid-wr')
+        writer = TraceArchiveWriter(
+            out, meta={"experiment": "test"}, resume=True
+        )
+        writer.abort()
+        assert manifest.read_text() == intact
+
+    def test_corrupt_trailing_chunk_is_dropped(self, tmp_path):
+        out = self._partial_archive(tmp_path / "arch")
+        chunks = sorted(out.glob("chunk_*.npz"))
+        chunks[-1].write_bytes(b"not an npz at all")
+        writer = TraceArchiveWriter(
+            out, meta={"experiment": "test"}, resume=True
+        )
+        try:
+            # The unreadable chunk's manifest entry is gone; recording
+            # will overwrite the file at the same index.
+            assert len(writer.entries) == len(chunks) - 1
+            assert writer.n_chunks == len(chunks) - 1
+        finally:
+            writer.abort()
+
+    def test_mid_manifest_corruption_is_refused(self, tmp_path):
+        out = self._partial_archive(tmp_path / "arch")
+        manifest = out / "manifest.jsonl"
+        lines = manifest.read_text().splitlines()
+        lines[1] = lines[1][: len(lines[1]) // 2]
+        manifest.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ArchiveError, match="not a torn tail"):
+            TraceArchiveWriter(
+                out, meta={"experiment": "test"}, resume=True
+            )
+
+    def test_sealed_archive_refuses_resume(self, tmp_path):
+        out = tmp_path / "arch"
+        attack = RsaHammingWeightAttack(session=AttackSession.create(seed=5))
+        with TraceArchiveWriter(out, meta={"experiment": "test"}) as writer:
+            attack.collect_sweep(weights=(4,), n_samples=300, sink=writer)
+        with pytest.raises(ArchiveError, match="already sealed"):
+            TraceArchiveWriter(
+                out, meta={"experiment": "test"}, resume=True
+            )
+
+    def test_meta_mismatch_refuses_resume(self, tmp_path):
+        out = self._partial_archive(tmp_path / "arch")
+        with pytest.raises(ArchiveError, match="metadata mismatch"):
+            TraceArchiveWriter(
+                out, meta={"experiment": "different"}, resume=True
+            )
+
+    def test_existing_manifest_without_resume_refused(self, tmp_path):
+        out = self._partial_archive(tmp_path / "arch")
+        with pytest.raises(ArchiveError, match="pass resume=True"):
+            TraceArchiveWriter(out, meta={"experiment": "test"})
+
+    def test_checkpoint_state_survives_reload(self, tmp_path):
+        out = self._partial_archive(tmp_path / "arch", n_appends=2)
+        writer = TraceArchiveWriter(
+            out, meta={"experiment": "test"}, resume=True
+        )
+        try:
+            state = writer.checkpoint_state
+            assert state is not None
+            assert state["keys_done"] == 2
+        finally:
+            writer.abort()
+
+    def test_drop_entries_after_checkpoint(self, tmp_path):
+        out = tmp_path / "arch"
+        writer = TraceArchiveWriter(out, meta={"experiment": "test"})
+        attack = RsaHammingWeightAttack(session=AttackSession.create(seed=5))
+        traces = list(
+            attack.collect_sweep(weights=(4, 8), n_samples=300)
+        )
+        writer.append(traces[0])
+        writer.checkpoint({"keys_done": 1})
+        writer.append(traces[1])  # persisted after the last checkpoint
+        writer.abort()
+        resumed = TraceArchiveWriter(
+            out, meta={"experiment": "test"}, resume=True
+        )
+        try:
+            assert len(resumed.entries) == 2
+            dropped = resumed.drop_entries_after_checkpoint()
+            assert dropped == 1
+            assert len(resumed.entries) == 1
+        finally:
+            resumed.abort()
+
+    def test_reader_rejects_unsealed_archive(self, tmp_path):
+        out = self._partial_archive(tmp_path / "arch")
+        with pytest.raises(ArchiveError):
+            TraceArchiveReader(out)
+
+
+class TestFaultedArchiveRoundtrip:
+    def test_quality_metadata_survives_the_archive(self, tmp_path):
+        out = tmp_path / "arch"
+        session = AttackSession.create(seed=5, faults=0.2)
+        trace = session.sampler.collect(
+            "fpga", "current", start=1.0, n_samples=300, label="faulted"
+        )
+        assert trace.quality is not None and trace.quality.retries > 0
+        with TraceArchiveWriter(out, meta={"experiment": "test"}) as writer:
+            writer.append(trace)
+        loaded = TraceArchiveReader(out).load_traceset()
+        assert len(loaded) == 1
+        restored = next(iter(loaded))
+        assert restored.quality == trace.quality
+        np.testing.assert_array_equal(restored.values, trace.values)
+
+    def test_faulted_resume_is_byte_identical(self, tmp_path):
+        clean, broken = tmp_path / "clean", tmp_path / "broken"
+
+        def attack():
+            return RsaHammingWeightAttack(
+                session=AttackSession.create(seed=5, faults=0.1)
+            )
+
+        weights = (4, 8, 12)
+        with TraceArchiveWriter(clean, meta={"experiment": "test"}) as writer:
+            attack().collect_sweep(
+                weights=weights, n_samples=300, sink=writer
+            )
+        writer = TraceArchiveWriter(broken, meta={"experiment": "test"})
+        _explode_after(writer, n_appends=1)
+        with pytest.raises(Bomb):
+            with writer:
+                attack().collect_sweep(
+                    weights=weights, n_samples=300, sink=writer
+                )
+        writer = TraceArchiveWriter(
+            broken, meta={"experiment": "test"}, resume=True
+        )
+        with writer:
+            attack().collect_sweep(
+                weights=weights, n_samples=300, sink=writer, resume=True
+            )
+        assert tree_hash(clean) == tree_hash(broken)
+
+    def test_checkpoints_invisible_to_reader_traces(self, tmp_path):
+        out = tmp_path / "arch"
+        attack = RsaHammingWeightAttack(session=AttackSession.create(seed=5))
+        with TraceArchiveWriter(out, meta={"experiment": "test"}) as writer:
+            attack.collect_sweep(
+                weights=(4, 8), n_samples=300, sink=writer
+            )
+        reader = TraceArchiveReader(out)
+        assert len(reader.entries) == 2
+        assert reader.checkpoint is not None
+        assert reader.checkpoint["keys_done"] == 2
+        manifest_kinds = [
+            "checkpoint" in json.loads(line)
+            for line in (out / "manifest.jsonl").read_text().splitlines()
+        ]
+        assert any(manifest_kinds), "checkpoints must be in the manifest"

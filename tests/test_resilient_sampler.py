@@ -1,0 +1,269 @@
+"""The resilient acquisition path: retries, health, degraded mode.
+
+Covers the sampler-facing half of the fault plane:
+
+* the determinism guard — ``FaultPlan.none()`` must leave every trace
+  bit-identical to the unarmed fast path, pinned against a checked-in
+  fixture recorded before the fault plane existed;
+* the retry/backoff loop (deterministic recovery, gap interpolation,
+  plausibility gating of torn reads);
+* the per-sensor health machine and degraded-mode fallbacks
+  (``collect_many(on_dead="drop")``, fused evaluation with dead
+  channels, mid-stream partial flush).
+"""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ChannelDeadError,
+    ChannelOutageError,
+    StreamInterrupted,
+    TraceQuality,
+)
+from repro.core.io import load_traceset
+from repro.faults import DEAD, FLAKY, HEALTHY, FaultPlan, RetryPolicy
+from repro.session import AttackSession
+
+pytestmark = pytest.mark.faults
+
+FIXTURE = Path(__file__).parent / "data" / "collect_seed3_v1.npz"
+
+#: The recipe the fixture was recorded with (pre-fault-plane code).
+FIXTURE_RECIPE = (
+    ("fpga", "current", 1.0, 160, "pin-fpga-current"),
+    ("ddr", "power", 1.0, 120, "pin-ddr-power"),
+    ("fpd", "voltage", 2.5, 96, "pin-fpd-voltage"),
+)
+
+
+def _collect_fixture_traces(session):
+    return [
+        session.sampler.collect(
+            domain, quantity, start=start, n_samples=n, label=label
+        )
+        for domain, quantity, start, n, label in FIXTURE_RECIPE
+    ]
+
+
+class TestNoopDeterminismGuard:
+    """FaultPlan.none() must be invisible, bit for bit."""
+
+    @pytest.mark.parametrize("faults", [None, "noop-plan"])
+    def test_matches_checked_in_fixture(self, faults):
+        if faults == "noop-plan":
+            faults = FaultPlan.none()
+        session = AttackSession.create(seed=3, faults=faults)
+        traces = _collect_fixture_traces(session)
+        pinned = load_traceset(FIXTURE)
+        assert len(pinned) == len(traces)
+        for fresh, expected in zip(traces, pinned):
+            assert fresh.label == expected.label
+            np.testing.assert_array_equal(fresh.times, expected.times)
+            np.testing.assert_array_equal(fresh.values, expected.values)
+
+    def test_noop_plan_keeps_fast_path(self):
+        session = AttackSession.create(seed=3, faults=FaultPlan.none())
+        assert not session.sampler._faults_active("fpga")
+        trace = session.sampler.collect(
+            "fpga", "current", start=1.0, n_samples=64
+        )
+        assert trace.quality is None
+
+    def test_zero_rate_resolves_to_unarmed(self):
+        session = AttackSession.create(seed=3, faults=0.0)
+        assert session.soc.fault_plan is None
+
+
+class TestResilientCollect:
+    def _session(self, rate=0.2, seed=3, retry_policy=None):
+        return AttackSession.create(
+            seed=seed, faults=rate, retry_policy=retry_policy
+        )
+
+    def test_faulted_collect_is_deterministic(self):
+        kwargs = dict(start=1.0, n_samples=400)
+        a = self._session().sampler.collect("fpga", "current", **kwargs)
+        b = self._session().sampler.collect("fpga", "current", **kwargs)
+        np.testing.assert_array_equal(a.values, b.values)
+        assert a.quality == b.quality
+
+    def test_quality_metadata_records_recovery(self):
+        trace = self._session().sampler.collect(
+            "fpga", "current", start=1.0, n_samples=400
+        )
+        quality = trace.quality
+        assert isinstance(quality, TraceQuality)
+        assert quality.retries > 0
+        assert quality.health in (HEALTHY, FLAKY)
+        assert quality.interpolated <= quality.gaps
+
+    def test_recovered_values_pass_plausibility(self):
+        policy = RetryPolicy()
+        session = self._session(rate=0.5)
+        trace = session.sampler.collect(
+            "fpga", "current", start=1.0, n_samples=600
+        )
+        assert int(np.abs(trace.values).max()) <= policy.plausible_limit
+
+    def test_sample_and_hold_fallback(self):
+        policy = RetryPolicy(max_retries=0, interpolate_gaps=False)
+        session = self._session(rate=0.4, retry_policy=policy)
+        trace = session.sampler.collect(
+            "fpga", "current", start=1.0, n_samples=400
+        )
+        assert trace.quality.gaps > 0
+        assert trace.quality.interpolated == 0
+        assert int(np.abs(trace.values).max()) <= policy.plausible_limit
+
+    def test_seed_changes_fault_outcome(self):
+        kwargs = dict(start=1.0, n_samples=400)
+        a = self._session(seed=3).sampler.collect("fpga", "current", **kwargs)
+        b = self._session(seed=4).sampler.collect("fpga", "current", **kwargs)
+        assert a.quality != b.quality or not np.array_equal(
+            a.values, b.values
+        )
+
+
+class TestHealthMachine:
+    def test_dead_channel_raises_immediately(self):
+        session = AttackSession.create(seed=3, faults=0.2)
+        session.sampler.force_dead("fpga")
+        assert session.sampler.channel_health("fpga") == DEAD
+        with pytest.raises(ChannelDeadError, match="pinned dead"):
+            session.sampler.collect("fpga", "current", start=1.0, n_samples=50)
+
+    def test_reset_health_revives(self):
+        session = AttackSession.create(seed=3, faults=0.2)
+        session.sampler.force_dead("fpga")
+        session.sampler.reset_health()
+        trace = session.sampler.collect(
+            "fpga", "current", start=1.0, n_samples=50
+        )
+        assert trace.values.size == 50
+
+    def test_faults_mark_channel_flaky(self):
+        session = AttackSession.create(seed=3, faults=0.5)
+        session.sampler.collect("fpga", "current", start=1.0, n_samples=400)
+        assert session.sampler.channel_health("fpga") == FLAKY
+
+
+class TestDegradedMode:
+    CHANNELS = [("fpga", "current"), ("ddr", "current"), ("fpd", "current")]
+
+    def test_collect_many_drops_dead_channel(self):
+        session = AttackSession.create(seed=3, faults=0.1)
+        session.sampler.force_dead("ddr")
+        traces = session.sampler.collect_many(
+            self.CHANNELS, start=1.0, n_samples=80, on_dead="drop"
+        )
+        assert ("ddr", "current") not in traces
+        assert set(traces) == {("fpga", "current"), ("fpd", "current")}
+
+    def test_collect_many_raise_propagates(self):
+        session = AttackSession.create(seed=3, faults=0.1)
+        session.sampler.force_dead("ddr")
+        with pytest.raises(ChannelDeadError):
+            session.sampler.collect_many(
+                self.CHANNELS, start=1.0, n_samples=80, on_dead="raise"
+            )
+
+    def test_all_channels_dead_is_an_outage(self):
+        session = AttackSession.create(seed=3, faults=0.1)
+        for domain, _ in self.CHANNELS:
+            session.sampler.force_dead(domain)
+        with pytest.raises(ChannelOutageError, match="every requested"):
+            session.sampler.collect_many(
+                self.CHANNELS, start=1.0, n_samples=80, on_dead="drop"
+            )
+
+    def test_on_dead_validated(self):
+        session = AttackSession.create(seed=3, faults=0.1)
+        with pytest.raises(ValueError, match="on_dead"):
+            session.sampler.collect_many(
+                self.CHANNELS, start=1.0, n_samples=80, on_dead="ignore"
+            )
+
+    def test_fused_degraded_reports_dropped_channels(self):
+        from repro.core.fingerprint import DnnFingerprinter, FingerprintConfig
+
+        session = AttackSession.create(seed=3, faults=0.05)
+        session.sampler.force_dead("ddr")
+        config = FingerprintConfig(
+            duration=1.0, traces_per_model=4, n_folds=2, forest_trees=5
+        )
+        fingerprinter = DnnFingerprinter(session=session, config=config)
+        channels = self.CHANNELS
+        datasets = fingerprinter.collect_datasets(
+            models=["resnet-50", "vgg-16"],
+            channels=channels,
+            on_dead="drop",
+        )
+        report = fingerprinter.evaluate_fused_degraded(
+            datasets, channels=channels
+        )
+        assert ("ddr", "current") in report["dropped_channels"]
+        assert set(report["used_channels"]) == {
+            ("fpga", "current"), ("fpd", "current"),
+        }
+        assert 0.0 <= report["result"].top1 <= 1.0
+
+
+class TestStreamResilience:
+    def test_midstream_unbind_flushes_partial_chunk(self):
+        session = AttackSession.create(seed=3, faults=0.05)
+        device = session.soc.device("fpga")
+        # The driver unbinds for good partway through the second chunk.
+        device.inject_failure("unbind", at_time=1.15)
+        stream = session.sampler.stream(
+            "fpga", "current", start=1.0, duration=0.4, chunk_duration=0.1
+        )
+        chunks = []
+        with pytest.raises(StreamInterrupted) as info:
+            for chunk in stream:
+                chunks.append(chunk)
+        assert chunks, "the chunks before the unbind must flush"
+        emitted = sum(chunk.values.size for chunk in chunks)
+        assert info.value.emitted == emitted
+        assert 0 < emitted < stream.n_samples
+        # The chunk straddling the unbind interpolates its lost tail
+        # (the sampler cannot know the outage is permanent); the first
+        # fully-dead chunk terminates the stream with a typed error.
+        straddling = chunks[-1].quality
+        assert straddling is not None
+        assert straddling.gaps > 0
+        assert straddling.interpolated == straddling.gaps
+
+    def test_stream_recovers_through_transient_faults(self):
+        session = AttackSession.create(seed=3, faults=0.2)
+        stream = session.sampler.stream(
+            "fpga", "current", start=1.0, duration=0.4, chunk_duration=0.1
+        )
+        chunks = list(stream)
+        assert sum(c.values.size for c in chunks) == stream.n_samples
+        assert any(
+            c.quality is not None and c.quality.retries > 0 for c in chunks
+        )
+
+
+class TestTraceQualityType:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceQuality(retries=-1)
+        with pytest.raises(ValueError):
+            TraceQuality(gaps=1, interpolated=2)
+        with pytest.raises(ValueError):
+            TraceQuality(health="zombie")
+
+    def test_merge_and_roundtrip(self):
+        a = TraceQuality(retries=2, gaps=1, interpolated=1, health=HEALTHY)
+        b = TraceQuality(retries=3, gaps=2, interpolated=0, health=FLAKY)
+        merged = a.merged(b)
+        assert merged.retries == 5
+        assert merged.gaps == 3
+        assert merged.health == FLAKY
+        assert TraceQuality.from_dict(merged.to_dict()) == merged
+        assert TraceQuality().clean
+        assert not merged.clean
