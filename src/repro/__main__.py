@@ -1,0 +1,12 @@
+"""``python -m repro`` — the package-level CLI entry point.
+
+Delegates to :mod:`repro.cli`, so ``python -m repro check`` and
+``python -m repro.cli check`` are the same program.
+"""
+
+import sys
+
+from repro.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,140 @@
+"""Baseline file support: grandfathered findings with justifications.
+
+The baseline is a checked-in JSON document listing findings that are
+*intentional* and may stay in the tree.  Each entry carries a one-line
+justification so the exemption is reviewable.  Matching is by
+fingerprint — rule id, path and the stripped source line — never by
+line number, so entries survive unrelated edits; an entry that matches
+nothing is reported as *stale* and should be deleted.
+
+Workflow::
+
+    python -m repro check                    # see new findings
+    # fix them, or when intentional:
+    python -m repro check --write-baseline   # grandfather what remains
+    # then fill in each new entry's "justification" by hand
+
+Format (``repro_check_baseline.json`` at the repo root)::
+
+    {
+      "version": 1,
+      "entries": [
+        {"rule": "API002",
+         "path": "src/repro/faults/plan.py",
+         "snippet": "self.transient_rate == 0.0",
+         "justification": "exact-zero sentinel for a disabled fault class"}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List
+
+from repro.check.findings import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, resolved against the scan root.
+DEFAULT_BASELINE_NAME = "repro_check_baseline.json"
+
+#: Placeholder --write-baseline leaves for the human to replace.
+TODO_JUSTIFICATION = "TODO: justify or fix"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding."""
+
+    rule: str
+    path: str
+    snippet: str
+    justification: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        return f"{self.rule}::{self.path}::{self.snippet}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "snippet": self.snippet,
+            "justification": self.justification,
+        }
+
+
+class BaselineError(ValueError):
+    """The baseline file is malformed."""
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse a baseline file, validating its schema."""
+    try:
+        document = json.loads(Path(path).read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(document, dict) or "entries" not in document:
+        raise BaselineError(f"{path}: expected an object with 'entries'")
+    version = document.get("version", BASELINE_VERSION)
+    if version != BASELINE_VERSION:
+        raise BaselineError(
+            f"{path}: unsupported baseline version {version!r} "
+            f"(expected {BASELINE_VERSION})"
+        )
+    entries = []
+    for index, raw in enumerate(document["entries"]):
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(raw["rule"]),
+                    path=str(raw["path"]),
+                    snippet=str(raw["snippet"]),
+                    justification=str(raw.get("justification", "")),
+                )
+            )
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(
+                f"{path}: entry {index} is missing rule/path/snippet"
+            ) from exc
+    return entries
+
+
+def write_baseline(
+    path: Path,
+    findings: Iterable[Finding],
+    existing: Iterable[BaselineEntry] = (),
+) -> List[BaselineEntry]:
+    """Write a baseline covering ``findings``, keeping old justifications.
+
+    Findings already covered by an ``existing`` entry keep that entry
+    (and its justification) verbatim; new findings get a
+    ``TODO_JUSTIFICATION`` placeholder.  Stale entries are dropped.
+    Returns the entries written, sorted by (path, rule, snippet).
+    """
+    by_fingerprint = {entry.fingerprint: entry for entry in existing}
+    merged = {}
+    for finding in findings:
+        kept = by_fingerprint.get(finding.fingerprint)
+        if kept is None:
+            kept = BaselineEntry(
+                rule=finding.rule,
+                path=finding.path,
+                snippet=finding.snippet,
+                justification=TODO_JUSTIFICATION,
+            )
+        merged[kept.fingerprint] = kept
+    entries = sorted(
+        merged.values(), key=lambda e: (e.path, e.rule, e.snippet)
+    )
+    document = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.to_dict() for entry in entries],
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+    return entries

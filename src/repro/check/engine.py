@@ -1,0 +1,275 @@
+"""File discovery, suppression, baseline matching and reporting.
+
+The engine is the orchestration half of ``repro.check``: it finds the
+Python files to scan, parses each one once, runs the selected rules
+(:data:`repro.check.rules.RULES`), drops findings suppressed by inline
+``# repro: ignore[RULE]`` comments, matches the remainder against the
+checked-in baseline, and renders the result as text or JSON.
+
+Exit-code policy (used by the CLI): a run is *clean* when there are no
+new findings and no unparsable files; stale baseline entries are
+reported but do not fail the run unless ``--fail-on-findings`` is given
+together with strict mode.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+
+from repro.check.baseline import BaselineEntry, load_baseline
+from repro.check.findings import Finding
+from repro.check.rules import RULES, Module, Rule
+
+PathLike = Union[str, Path]
+
+#: Inline suppression: ``# repro: ignore[RULE1,RULE2] optional reason``.
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class ParseError:
+    """A file the checker could not parse (reported, and fails the run)."""
+
+    path: str
+    line: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:0: PARSE {self.message}"
+
+    def to_dict(self) -> Dict:
+        return {"path": self.path, "line": self.line, "message": self.message}
+
+
+@dataclass
+class CheckResult:
+    """Everything one ``run_check`` pass produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    errors: List[ParseError] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """Clean: nothing new to report and every file parsed."""
+        return not self.findings and not self.errors
+
+
+class UnknownRuleError(ValueError):
+    """A ``--rules`` selection named a rule that does not exist."""
+
+
+def select_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Resolve a rule-id selection (case-insensitive) to Rule objects."""
+    if not rule_ids:
+        return list(RULES.values())
+    selected = []
+    for rule_id in rule_ids:
+        rule = RULES.get(rule_id.upper())
+        if rule is None:
+            known = ", ".join(sorted(RULES))
+            raise UnknownRuleError(
+                f"unknown rule {rule_id!r}; known rules: {known}"
+            )
+        selected.append(rule)
+    return selected
+
+
+def iter_python_files(
+    paths: Iterable[PathLike], root: Path
+) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: Set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            files.update(
+                candidate
+                for candidate in path.rglob("*.py")
+                if "__pycache__" not in candidate.parts
+            )
+        elif path.suffix == ".py" and path.exists():
+            files.add(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return sorted(files)
+
+
+def _rel_path(path: Path, root: Path) -> str:
+    try:
+        return str(PurePosixPath(path.relative_to(root)))
+    except ValueError:
+        return str(PurePosixPath(path))
+
+
+def _suppressions(lines: Sequence[str]) -> Dict[int, Set[str]]:
+    """Per-line sets of suppressed rule ids (1-based line numbers)."""
+    table: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(lines, start=1):
+        match = SUPPRESS_RE.search(line)
+        if match:
+            table[lineno] = {
+                piece.strip().upper()
+                for piece in match.group(1).split(",")
+                if piece.strip()
+            }
+    return table
+
+
+def default_root() -> Path:
+    """The repo root: cwd when it holds ``src/repro``, else derived
+    from this package's location (``src/repro/check`` -> repo)."""
+    cwd = Path.cwd()
+    if (cwd / "src" / "repro" / "__init__.py").exists():
+        return cwd
+    src = Path(__file__).resolve().parents[2]
+    if src.name == "src" and (src / "repro" / "__init__.py").exists():
+        return src.parent
+    return cwd
+
+
+def default_paths(root: Path) -> List[Path]:
+    """What to scan when no paths are given: the library source."""
+    src = root / "src"
+    if src.is_dir():
+        return [src]
+    return [Path(__file__).resolve().parents[1]]
+
+
+def run_check(
+    paths: Optional[Sequence[PathLike]] = None,
+    rules: Optional[Sequence[str]] = None,
+    baseline: Optional[PathLike] = None,
+    root: Optional[PathLike] = None,
+) -> CheckResult:
+    """Run the selected rules over ``paths`` and classify the findings.
+
+    Args:
+        paths: files/directories to scan (default: ``<root>/src``).
+        rules: rule-id selection (default: every registered rule).
+        baseline: baseline file.  ``None`` auto-loads
+            ``<root>/repro_check_baseline.json`` when it exists; pass
+            ``""`` to force no baseline.
+        root: directory findings are reported relative to (default:
+            auto-detected repo root).
+
+    Returns:
+        a :class:`CheckResult`; ``result.ok`` is the pass/fail signal.
+    """
+    root = Path(root) if root is not None else default_root()
+    selected = select_rules(rules)
+    scan_paths = (
+        [Path(p) for p in paths] if paths else default_paths(root)
+    )
+    if baseline is None:
+        candidate = root / "repro_check_baseline.json"
+        baseline_entries = (
+            load_baseline(candidate) if candidate.exists() else []
+        )
+    elif baseline == "":
+        baseline_entries = []
+    else:
+        baseline_entries = load_baseline(Path(baseline))
+
+    result = CheckResult(rules_run=[rule.id for rule in selected])
+    raw_findings: List[Finding] = []
+    for file_path in iter_python_files(scan_paths, root):
+        rel = _rel_path(file_path, root)
+        try:
+            module = Module.parse(file_path, rel)
+        except SyntaxError as exc:
+            result.errors.append(
+                ParseError(rel, exc.lineno or 1, f"syntax error: {exc.msg}")
+            )
+            continue
+        result.files_scanned += 1
+        suppressions = _suppressions(module.lines)
+        for rule in selected:
+            for finding in rule.check(module):
+                if rule.id in suppressions.get(finding.line, ()):
+                    result.suppressed += 1
+                else:
+                    raw_findings.append(finding)
+
+    used_entries: Set[str] = set()
+    by_fingerprint = {
+        entry.fingerprint: entry for entry in baseline_entries
+    }
+    for finding in sorted(raw_findings):
+        entry = by_fingerprint.get(finding.fingerprint)
+        if entry is not None:
+            used_entries.add(entry.fingerprint)
+            result.baselined.append(finding)
+        else:
+            result.findings.append(finding)
+    # Entries for rules that did not run are neither used nor stale.
+    selected_ids = {rule.id for rule in selected}
+    result.stale_baseline = [
+        entry
+        for entry in baseline_entries
+        if entry.fingerprint not in used_entries
+        and entry.rule in selected_ids
+    ]
+    return result
+
+
+# ---------------------------------------------------------------- rendering
+
+
+def render_text(result: CheckResult, verbose: bool = False) -> str:
+    """Human-readable report: one diagnostic line per new finding."""
+    lines: List[str] = []
+    for error in result.errors:
+        lines.append(error.format())
+    for finding in result.findings:
+        lines.append(finding.format())
+    if verbose:
+        for finding in result.baselined:
+            lines.append(f"{finding.format()} [baselined]")
+    for entry in result.stale_baseline:
+        lines.append(
+            f"{entry.path}: STALE baseline entry {entry.rule} "
+            f"({entry.snippet!r}) matches nothing — delete it"
+        )
+    lines.append(
+        f"{len(result.findings)} finding"
+        f"{'' if len(result.findings) == 1 else 's'} "
+        f"({len(result.baselined)} baselined, {result.suppressed} "
+        f"suppressed, {len(result.stale_baseline)} stale baseline "
+        f"entries) across {result.files_scanned} files"
+    )
+    return "\n".join(lines)
+
+
+def render_json(result: CheckResult) -> str:
+    """Machine-readable report for CI annotation."""
+    document = {
+        "version": 1,
+        "ok": result.ok,
+        "summary": {
+            "findings": len(result.findings),
+            "baselined": len(result.baselined),
+            "suppressed": result.suppressed,
+            "errors": len(result.errors),
+            "stale_baseline": len(result.stale_baseline),
+            "files_scanned": result.files_scanned,
+            "rules_run": result.rules_run,
+        },
+        "findings": [finding.to_dict() for finding in result.findings],
+        "baselined": [finding.to_dict() for finding in result.baselined],
+        "errors": [error.to_dict() for error in result.errors],
+        "stale_baseline": [
+            entry.to_dict() for entry in result.stale_baseline
+        ],
+    }
+    return json.dumps(document, indent=2)

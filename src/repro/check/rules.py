@@ -1,0 +1,834 @@
+"""Rule set encoding this repo's determinism & concurrency contracts.
+
+Every result the reproduction reports (the 261x current-vs-RO ratio,
+Table III accuracies, the RSA Hamming-weight separation) depends on runs
+being bit-identical across seeds, worker counts, chunk sizes and fault
+plans.  These rules turn the prose contracts of PRs 1-3 into static
+checks over the AST:
+
+==========  ============================================================
+Rule        Contract
+==========  ============================================================
+RNG001      no unseeded ``np.random.default_rng()`` / ``SeedSequence()``
+            (OS entropy makes a recording unreplayable)
+RNG002      no stdlib ``random``, ``os.urandom``, ``secrets``,
+            ``uuid.uuid4`` or legacy global-state ``np.random.*``
+RNG003      Generators are built via ``repro.utils.rng`` (``ensure_rng``
+            / ``spawn``) so the ``normalize_seed`` policy applies
+TIME001     no wall-clock reads in simulated-time modules (the
+            ``repro/perf`` timing helpers are exempt)
+CONC001     functions submitted to ``perf.executor.parallel_map`` must
+            not mutate module-level state (lost under fork)
+CONC002     fields documented as lock-guarded (``_clock`` by
+            ``_clock_lock``, ``_FIT_CONTEXT`` by ``_FIT_LOCK``) are only
+            touched inside a ``with <lock>`` block
+CONC003     only module-level functions go to ``parallel_map`` — no
+            lambdas/closures (they capture handles and cannot pickle)
+API001      hwmon register reads stay behind the
+            ``read_series_faulted`` boundary (sensors/soc layers only)
+API002      no float ``==`` / ``!=`` on computed data (seed/chunking
+            fragile); exact sentinels must be suppressed explicitly
+API003      no mutable default arguments (shared across calls — and
+            across forked workers)
+==========  ============================================================
+
+Each rule is a pure function ``(Module) -> List[Finding]``; the engine
+(:mod:`repro.check.engine`) handles file discovery, suppression comments
+and the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.check.findings import Finding
+
+# --------------------------------------------------------------------- model
+
+
+@dataclass
+class Module:
+    """One parsed source file handed to every rule."""
+
+    path: Path
+    rel_path: str
+    source: str
+    tree: ast.Module
+    lines: List[str] = field(default_factory=list)
+
+    @classmethod
+    def parse(cls, path: Path, rel_path: str) -> "Module":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        return cls(
+            path=path,
+            rel_path=rel_path,
+            source=source,
+            tree=tree,
+            lines=source.splitlines(),
+        )
+
+    def snippet(self, lineno: int) -> str:
+        if 1 <= lineno <= len(self.lines):
+            return self.lines[lineno - 1].strip()
+        return ""
+
+    def finding(self, rule: str, node: ast.AST, message: str) -> Finding:
+        lineno = getattr(node, "lineno", 1)
+        return Finding(
+            path=self.rel_path,
+            line=lineno,
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+            snippet=self.snippet(lineno),
+        )
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One named contract check."""
+
+    id: str
+    name: str
+    rationale: str
+    check: Callable[[Module], List[Finding]]
+
+
+# ---------------------------------------------------------- shared utilities
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _import_map(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> canonical dotted origin, from every import node."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                origin = alias.name if alias.asname else local
+                aliases[local] = origin
+        elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+            for alias in node.names:
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _canonical(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Resolve a call target through the module's import aliases.
+
+    ``np.random.default_rng`` with ``import numpy as np`` resolves to
+    ``numpy.random.default_rng``; ``default_rng`` imported from
+    ``numpy.random`` resolves identically.
+    """
+    dotted = _dotted(node)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    origin = aliases.get(head)
+    if origin is None:
+        return dotted
+    return f"{origin}.{rest}" if rest else origin
+
+
+def _is_none(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value is None
+
+
+def _path_matches(rel_path: str, allowed: Sequence[str]) -> bool:
+    """True when the POSIX rel path falls inside any allowed location."""
+    posix = rel_path.replace("\\", "/")
+    return any(piece in posix for piece in allowed)
+
+
+# ------------------------------------------------------------------- RNG001
+
+_SEEDED_FACTORIES = ("numpy.random.default_rng", "numpy.random.SeedSequence")
+
+
+def check_rng001(module: Module) -> List[Finding]:
+    """Unseeded numpy Generator construction reaches OS entropy."""
+    aliases = _import_map(module.tree)
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = _canonical(node.func, aliases)
+        if target not in _SEEDED_FACTORIES:
+            continue
+        unseeded = not node.args and not node.keywords
+        none_seed = bool(node.args) and _is_none(node.args[0])
+        none_kw = any(
+            kw.arg in ("seed", "entropy") and _is_none(kw.value)
+            for kw in node.keywords
+        )
+        if unseeded or none_seed or none_kw:
+            findings.append(
+                module.finding(
+                    "RNG001",
+                    node,
+                    f"{target.rsplit('.', 1)[-1]} without a seed draws OS "
+                    f"entropy; the recording cannot be replayed (route "
+                    f"seeds through repro.utils.rng.normalize_seed)",
+                )
+            )
+    return findings
+
+
+# ------------------------------------------------------------------- RNG002
+
+_BANNED_CALL_PREFIXES = ("random.", "secrets.")
+_BANNED_CALLS = {"os.urandom", "uuid.uuid4", "uuid.uuid1"}
+_NUMPY_LEGACY = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "normal",
+    "uniform",
+    "standard_normal",
+    "get_state",
+    "set_state",
+}
+
+
+def check_rng002(module: Module) -> List[Finding]:
+    """Nondeterministic or global-state entropy sources are banned."""
+    aliases = _import_map(module.tree)
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = _canonical(node.func, aliases)
+        if target is None:
+            continue
+        if target in _BANNED_CALLS or target.startswith(_BANNED_CALL_PREFIXES):
+            findings.append(
+                module.finding(
+                    "RNG002",
+                    node,
+                    f"{target} is an unseedable/OS entropy source; use an "
+                    f"explicit numpy Generator from repro.utils.rng",
+                )
+            )
+            continue
+        prefix, _, tail = target.rpartition(".")
+        if prefix == "numpy.random" and tail in _NUMPY_LEGACY:
+            findings.append(
+                module.finding(
+                    "RNG002",
+                    node,
+                    f"np.random.{tail} uses numpy's hidden global RNG "
+                    f"state (order- and import-sensitive); draw from an "
+                    f"explicit Generator instead",
+                )
+            )
+    return findings
+
+
+# ------------------------------------------------------------------- RNG003
+
+#: The one module allowed to construct Generators directly — everything
+#: else goes through ensure_rng/spawn so the seed policy applies.
+_RNG_HELPER_MODULES = ("repro/utils/rng.py",)
+
+
+def check_rng003(module: Module) -> List[Finding]:
+    """Direct default_rng construction bypasses the seed policy."""
+    if _path_matches(module.rel_path, _RNG_HELPER_MODULES):
+        return []
+    aliases = _import_map(module.tree)
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if _canonical(node.func, aliases) != "numpy.random.default_rng":
+            continue
+        findings.append(
+            module.finding(
+                "RNG003",
+                node,
+                "construct Generators via repro.utils.rng.ensure_rng or "
+                "spawn so the library seed policy (None -> 0, name-keyed "
+                "streams) applies uniformly",
+            )
+        )
+    return findings
+
+
+# ------------------------------------------------------------------ TIME001
+
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: Modules whose whole job is wall-clock timing (bench/StageTimer).
+_WALL_CLOCK_ALLOWED = ("repro/perf/",)
+
+
+def check_time001(module: Module) -> List[Finding]:
+    """Wall-clock reads poison simulated-time determinism."""
+    if _path_matches(module.rel_path, _WALL_CLOCK_ALLOWED):
+        return []
+    aliases = _import_map(module.tree)
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = _canonical(node.func, aliases)
+        if target in _WALL_CLOCK_CALLS:
+            findings.append(
+                module.finding(
+                    "TIME001",
+                    node,
+                    f"{target} reads the wall clock inside a "
+                    f"simulated-time module; derive times from the "
+                    f"experiment clock (repro/perf timing helpers are "
+                    f"the only exemption)",
+                )
+            )
+    return findings
+
+
+# ------------------------------------------------------------------ CONC001
+
+_MUTATORS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "clear",
+    "remove",
+    "discard",
+    "sort",
+    "reverse",
+}
+
+
+def _module_level_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                for name in ast.walk(target):
+                    if isinstance(name, ast.Name):
+                        names.add(name.id)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            if isinstance(node.target, ast.Name):
+                names.add(node.target.id)
+    return names
+
+
+def _submitted_names(tree: ast.Module, aliases: Dict[str, str]) -> Set[str]:
+    """Names passed as the task callable to parallel_map."""
+    submitted: Set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = _canonical(node.func, aliases) or ""
+        if not target.endswith("parallel_map"):
+            continue
+        fn = node.args[0] if node.args else None
+        if fn is None:
+            for kw in node.keywords:
+                if kw.arg == "fn":
+                    fn = kw.value
+        if isinstance(fn, ast.Name):
+            submitted.add(fn.id)
+    return submitted
+
+
+def check_conc001(module: Module) -> List[Finding]:
+    """Worker tasks mutating module globals lose the writes under fork."""
+    aliases = _import_map(module.tree)
+    globals_ = _module_level_names(module.tree)
+    submitted = _submitted_names(module.tree, aliases)
+    if not submitted or not globals_:
+        return []
+    findings = []
+    for node in module.tree.body:
+        if not isinstance(node, ast.FunctionDef):
+            continue
+        if node.name not in submitted:
+            continue
+        declared_global: Set[str] = set()
+        for stmt in ast.walk(node):
+            if isinstance(stmt, ast.Global):
+                declared_global.update(
+                    name for name in stmt.names if name in globals_
+                )
+        for stmt in ast.walk(node):
+            mutated: Optional[str] = None
+            if isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    stmt.targets
+                    if isinstance(stmt, ast.Assign)
+                    else [stmt.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Name)
+                        and target.id in declared_global
+                    ):
+                        mutated = target.id
+                    elif isinstance(target, ast.Subscript):
+                        base = target.value
+                        if isinstance(base, ast.Name) and base.id in globals_:
+                            mutated = base.id
+            elif isinstance(stmt, ast.Call):
+                func = stmt.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr in _MUTATORS
+                    and isinstance(func.value, ast.Name)
+                    and func.value.id in globals_
+                ):
+                    mutated = func.value.id
+            if mutated is not None:
+                findings.append(
+                    module.finding(
+                        "CONC001",
+                        stmt,
+                        f"{node.name}() is submitted to parallel_map but "
+                        f"mutates module-level {mutated!r}; writes in a "
+                        f"forked worker never reach the parent (pass "
+                        f"state through arguments and return values)",
+                    )
+                )
+    return findings
+
+
+# ------------------------------------------------------------------ CONC002
+
+#: Fields whose access contract is "hold this lock".  The rule only
+#: applies where the lock actually exists in the same scope (class body
+#: assigns ``self.<lock>``, or the module defines it at top level), so
+#: an unrelated ``_clock`` in a lockless class is not flagged.
+GUARDED_FIELDS: Dict[str, str] = {
+    "_clock": "_clock_lock",
+    "_FIT_CONTEXT": "_FIT_LOCK",
+}
+
+
+class _LockScopeVisitor(ast.NodeVisitor):
+    """Tracks class/function nesting and the set of locks held."""
+
+    def __init__(self, module: Module, module_locks: Set[str]):
+        self.module = module
+        self.module_locks = module_locks
+        self.class_stack: List[Set[str]] = []
+        self.function_depth = 0
+        self.held: List[str] = []
+        self.in_init = False
+        self.findings: List[Finding] = []
+
+    # -- scope bookkeeping
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self.class_stack.append(_class_self_attrs(node))
+        self.generic_visit(node)
+        self.class_stack.pop()
+
+    def _visit_function(self, node) -> None:
+        outer_init = self.in_init
+        if self.class_stack and node.name == "__init__":
+            self.in_init = True
+        self.function_depth += 1
+        self.generic_visit(node)
+        self.function_depth -= 1
+        self.in_init = outer_init
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+    def visit_With(self, node: ast.With) -> None:
+        acquired = []
+        for item in node.items:
+            dotted = _dotted(item.context_expr) or ""
+            tail = dotted.rsplit(".", 1)[-1]
+            if tail in GUARDED_FIELDS.values():
+                acquired.append(tail)
+        self.held.extend(acquired)
+        self.generic_visit(node)
+        del self.held[len(self.held) - len(acquired):]
+
+    visit_AsyncWith = visit_With
+
+    # -- the accesses under contract
+
+    def _flag(self, node: ast.AST, name: str, lock: str) -> None:
+        self.findings.append(
+            self.module.finding(
+                "CONC002",
+                node,
+                f"{name} is documented as guarded by {lock}; access it "
+                f"inside a `with {lock}:` block (or move the access "
+                f"into the guarded section)",
+            )
+        )
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        lock = GUARDED_FIELDS.get(node.attr)
+        if (
+            lock is not None
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and self.function_depth > 0
+            and not self.in_init
+            and lock not in self.held
+            and self.class_stack
+            and lock in self.class_stack[-1]
+        ):
+            self._flag(node, f"self.{node.attr}", f"self.{lock}")
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        lock = GUARDED_FIELDS.get(node.id)
+        if (
+            lock is not None
+            and self.function_depth > 0
+            and lock in self.module_locks
+            and lock not in self.held
+        ):
+            self._flag(node, node.id, lock)
+        self.generic_visit(node)
+
+
+def _class_self_attrs(node: ast.ClassDef) -> Set[str]:
+    """Attribute names ever assigned on ``self`` within a class body."""
+    attrs: Set[str] = set()
+    for stmt in ast.walk(node):
+        if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (
+                stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                ):
+                    attrs.add(target.attr)
+    return attrs
+
+
+def check_conc002(module: Module) -> List[Finding]:
+    """Lock-guarded fields touched outside their ``with`` block."""
+    module_locks = {
+        name
+        for name in _module_level_names(module.tree)
+        if name in GUARDED_FIELDS.values()
+    }
+    visitor = _LockScopeVisitor(module, module_locks)
+    visitor.visit(module.tree)
+    return visitor.findings
+
+
+# ------------------------------------------------------------------ CONC003
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside another function."""
+    nested: Set[str] = set()
+
+    def walk(node: ast.AST, inside_function: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            is_fn = isinstance(
+                child, (ast.FunctionDef, ast.AsyncFunctionDef)
+            )
+            if is_fn and inside_function:
+                nested.add(child.name)
+            walk(child, inside_function or is_fn)
+
+    walk(tree, False)
+    return nested
+
+
+def _lambda_names(tree: ast.Module) -> Set[str]:
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and isinstance(node.value, ast.Lambda):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    names.add(target.id)
+    return names
+
+
+def check_conc003(module: Module) -> List[Finding]:
+    """Closures/lambdas handed to parallel_map cannot cross the fork."""
+    aliases = _import_map(module.tree)
+    nested = _nested_function_names(module.tree)
+    lambdas = _lambda_names(module.tree)
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = _canonical(node.func, aliases) or ""
+        if not target.endswith("parallel_map"):
+            continue
+        fn = node.args[0] if node.args else None
+        if fn is None:
+            for kw in node.keywords:
+                if kw.arg == "fn":
+                    fn = kw.value
+        if fn is None:
+            continue
+        bad: Optional[str] = None
+        if isinstance(fn, ast.Lambda):
+            bad = "a lambda"
+        elif isinstance(fn, ast.Name) and fn.id in lambdas:
+            bad = f"lambda {fn.id!r}"
+        elif isinstance(fn, ast.Name) and fn.id in nested:
+            bad = f"nested function {fn.id!r}"
+        if bad is not None:
+            findings.append(
+                module.finding(
+                    "CONC003",
+                    node,
+                    f"parallel_map received {bad}; tasks must be "
+                    f"module-level picklable functions — closures "
+                    f"capture parent state (open file handles, live "
+                    f"Generators) that is stale or unpicklable in a "
+                    f"forked worker",
+                )
+            )
+    return findings
+
+
+# ------------------------------------------------------------------- API001
+
+_HWMON_READ_METHODS = {
+    "read_series",
+    "read_series_batch",
+    "read_series_faulted",
+    "readings_at",
+}
+
+#: The acquisition boundary: only the sensor tree itself and the SoC
+#: sampling facade may touch raw hwmon register reads.  Everyone else
+#: goes through Soc.sample/sample_faulted so fault plans, hardening and
+#: health tracking always apply.
+_HWMON_ALLOWED = ("repro/sensors/", "repro/soc/soc.py")
+
+
+def check_api001(module: Module) -> List[Finding]:
+    """Raw hwmon reads outside the read_series_faulted boundary."""
+    if _path_matches(module.rel_path, _HWMON_ALLOWED):
+        return []
+    findings = []
+    for node in ast.walk(module.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _HWMON_READ_METHODS
+        ):
+            findings.append(
+                module.finding(
+                    "API001",
+                    node,
+                    f".{node.func.attr}() is a raw hwmon register read; "
+                    f"outside repro/sensors and repro/soc it must go "
+                    f"through Soc.sample/sample_faulted (the "
+                    f"read_series_faulted boundary) so fault plans and "
+                    f"sensor health apply",
+                )
+            )
+    return findings
+
+
+# ------------------------------------------------------------------- API002
+
+
+def _is_float_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return True
+    if isinstance(node, ast.UnaryOp) and isinstance(
+        node.op, (ast.USub, ast.UAdd)
+    ):
+        return _is_float_literal(node.operand)
+    return False
+
+
+def check_api002(module: Module) -> List[Finding]:
+    """Exact float equality on computed data is seed/chunking fragile."""
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if _is_float_literal(left) or _is_float_literal(right):
+                findings.append(
+                    module.finding(
+                        "API002",
+                        node,
+                        "float == / != against a literal is fragile on "
+                        "computed trace data; compare integer registers, "
+                        "use np.isclose, or suppress with a justification "
+                        "if this is an exact sentinel",
+                    )
+                )
+                break
+    return findings
+
+
+# ------------------------------------------------------------------- API003
+
+_MUTABLE_FACTORY_CALLS = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "numpy.array",
+    "numpy.zeros",
+    "numpy.ones",
+    "numpy.empty",
+    "collections.defaultdict",
+    "collections.deque",
+}
+
+
+def check_api003(module: Module) -> List[Finding]:
+    """Mutable default arguments are shared across calls and workers."""
+    aliases = _import_map(module.tree)
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            default
+            for default in node.args.kw_defaults
+            if default is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(default, (ast.List, ast.Dict, ast.Set))
+            if isinstance(default, ast.Call):
+                target = _canonical(default.func, aliases)
+                mutable = target in _MUTABLE_FACTORY_CALLS
+            if mutable:
+                findings.append(
+                    module.finding(
+                        "API003",
+                        default,
+                        f"mutable default argument in {node.name}(); the "
+                        f"object is created once and shared by every call "
+                        f"(and every forked worker) — default to None and "
+                        f"construct inside the function",
+                    )
+                )
+    return findings
+
+
+# ----------------------------------------------------------------- registry
+
+RULES: Dict[str, Rule] = {
+    rule.id: rule
+    for rule in (
+        Rule(
+            "RNG001",
+            "unseeded-generator",
+            "unseeded default_rng/SeedSequence draws OS entropy; "
+            "recordings become unreplayable",
+            check_rng001,
+        ),
+        Rule(
+            "RNG002",
+            "banned-entropy-source",
+            "stdlib random / os.urandom / secrets / legacy np.random.* "
+            "bypass the explicit-Generator seed discipline",
+            check_rng002,
+        ),
+        Rule(
+            "RNG003",
+            "rng-helper-bypass",
+            "Generators must be built by utils.rng.ensure_rng/spawn so "
+            "normalize_seed(None) -> 0 applies everywhere",
+            check_rng003,
+        ),
+        Rule(
+            "TIME001",
+            "wall-clock-in-simulated-time",
+            "time.time()/datetime.now() in simulated-time modules breaks "
+            "replayability (repro/perf timing helpers exempt)",
+            check_time001,
+        ),
+        Rule(
+            "CONC001",
+            "worker-global-mutation",
+            "parallel_map tasks mutating module globals silently lose "
+            "the writes under fork",
+            check_conc001,
+        ),
+        Rule(
+            "CONC002",
+            "unlocked-guarded-field",
+            "fields documented as lock-guarded (_clock/_FIT_CONTEXT) "
+            "must be accessed under their lock",
+            check_conc002,
+        ),
+        Rule(
+            "CONC003",
+            "worker-closure-capture",
+            "lambdas/closures submitted to parallel_map capture "
+            "unpicklable parent state (handles, live Generators)",
+            check_conc003,
+        ),
+        Rule(
+            "API001",
+            "hwmon-boundary",
+            "raw hwmon register reads outside repro/sensors + "
+            "repro/soc bypass fault plans and sensor health",
+            check_api001,
+        ),
+        Rule(
+            "API002",
+            "float-equality",
+            "float ==/!= against literals is fragile on computed trace "
+            "data; exact sentinels need an explicit suppression",
+            check_api002,
+        ),
+        Rule(
+            "API003",
+            "mutable-default-argument",
+            "mutable defaults are shared across calls and forked "
+            "workers",
+            check_api003,
+        ),
+    )
+}

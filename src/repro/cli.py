@@ -11,10 +11,15 @@ Usage::
     python -m repro.cli record --experiment fingerprint --out traces/
     python -m repro.cli analyze --archive traces/
     python -m repro.cli replay --archive traces/
+    python -m repro check --fail-on-findings
 
 Each subcommand mounts one of the paper's experiments at a
 command-line-friendly scale and prints a compact report; the full
 evaluation lives in ``benchmarks/``.
+
+``check`` is the repo's own static-analysis gate: an AST pass over
+``src/`` enforcing the determinism / concurrency / API-hygiene
+contracts every reported number depends on (see ``repro.check``).
 
 The ``record`` / ``analyze`` / ``replay`` trio is the paper's
 two-machine workflow: ``record`` runs only the acquisition plane and
@@ -31,7 +36,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-import numpy as np
+from repro.utils.rng import ensure_rng
 
 
 def _cmd_boards(args: argparse.Namespace) -> int:
@@ -143,6 +148,64 @@ def _cmd_bench_faults(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import (
+        RULES,
+        BaselineError,
+        UnknownRuleError,
+        load_baseline,
+        render_json,
+        render_text,
+        run_check,
+        write_baseline,
+    )
+    from repro.check.engine import default_root
+
+    if args.list_rules:
+        width = max(len(rule.id) for rule in RULES.values())
+        for rule in RULES.values():
+            print(f"{rule.id:{width}s}  {rule.name}: {rule.rationale}")
+        return 0
+    root = default_root()
+    baseline = args.baseline
+    if args.no_baseline:
+        baseline = ""
+    try:
+        result = run_check(
+            paths=args.paths or None,
+            rules=args.rules,
+            baseline=baseline,
+            root=root,
+        )
+    except (UnknownRuleError, BaselineError, FileNotFoundError) as exc:
+        print(f"repro check: {exc}", file=sys.stderr)
+        return 2
+    if args.write_baseline:
+        from pathlib import Path
+
+        path = (
+            Path(baseline)
+            if baseline
+            else root / "repro_check_baseline.json"
+        )
+        entries = write_baseline(
+            path,
+            list(result.findings) + list(result.baselined),
+            existing=load_baseline(path) if path.exists() else [],
+        )
+        print(f"baseline with {len(entries)} entries written to {path}")
+        return 0
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result, verbose=args.verbose))
+    if result.errors:
+        return 2
+    if args.fail_on_findings and not result.ok:
+        return 1
+    return 0
+
+
 def _cmd_rsa(args: argparse.Namespace) -> int:
     from repro.core.rsa_attack import RsaHammingWeightAttack
 
@@ -162,7 +225,7 @@ def _cmd_covert(args: argparse.Namespace) -> int:
     from repro.core.covert_channel import CovertChannel
 
     channel = CovertChannel(seed=args.seed, board=args.board)
-    rng = np.random.default_rng(args.seed)
+    rng = ensure_rng(args.seed)
     bits = rng.integers(0, 2, size=args.bits)
     report = channel.transmit(bits, bit_period=args.bit_period)
     print(f"sent {len(report.sent)} bits at "
@@ -263,7 +326,7 @@ def _record_covert(args: argparse.Namespace) -> None:
     from repro.core.io import TraceArchiveWriter
 
     channel = CovertChannel(seed=args.seed, board=args.board)
-    rng = np.random.default_rng(args.seed)
+    rng = ensure_rng(args.seed)
     bits = [int(bit) for bit in rng.integers(0, 2, size=args.bits)]
     meta = {
         "experiment": "covert",
@@ -441,6 +504,50 @@ def build_parser() -> argparse.ArgumentParser:
              "(default 0 0.05 0.1 0.2 0.4)",
     )
 
+    check = sub.add_parser(
+        "check",
+        help="static determinism/concurrency contract checker "
+             "(AST pass over src/)",
+    )
+    check.add_argument(
+        "paths", nargs="*", default=None,
+        help="files or directories to scan (default: src/)",
+    )
+    check.add_argument(
+        "--rules", nargs="*", default=None,
+        help="rule ids to run (default: all; see --list-rules)",
+    )
+    check.add_argument(
+        "--baseline", type=str, default=None,
+        help="baseline file of grandfathered findings (default: "
+             "repro_check_baseline.json at the repo root, if present)",
+    )
+    check.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file (report every finding)",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (json is CI-annotation friendly)",
+    )
+    check.add_argument(
+        "--fail-on-findings", action="store_true",
+        help="exit 1 when new findings remain after baseline/suppressions",
+    )
+    check.add_argument(
+        "--write-baseline", action="store_true",
+        help="grandfather current findings into the baseline file "
+             "(existing justifications are kept)",
+    )
+    check.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule table and exit",
+    )
+    check.add_argument(
+        "--verbose", action="store_true",
+        help="also print baselined findings",
+    )
+
     rsa = sub.add_parser("rsa", help="RSA Hamming-weight attack (Fig 4)")
     rsa.add_argument("--samples", type=int, default=8000)
     rsa.add_argument("--seed", type=int, default=0)
@@ -572,6 +679,7 @@ _COMMANDS = {
     "characterize": _cmd_characterize,
     "fingerprint": _cmd_fingerprint,
     "bench": _cmd_bench,
+    "check": _cmd_check,
     "rsa": _cmd_rsa,
     "covert": _cmd_covert,
     "report": _cmd_report,

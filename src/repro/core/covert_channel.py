@@ -30,6 +30,7 @@ from repro.core.sampler import HwmonSampler
 from repro.core.traces import Trace
 from repro.soc.soc import Soc
 from repro.soc.workload import PiecewiseActivity
+from repro.utils.rng import ensure_rng
 from repro.utils.validation import require_positive
 
 #: Alternating preamble used for threshold calibration.
@@ -279,7 +280,7 @@ class CovertChannel:
         self, bit_periods: Sequence[float], n_bits: int = 64, seed: int = 0
     ) -> List[ChannelReport]:
         """Measure BER/goodput across signaling rates."""
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         reports = []
         for bit_period in bit_periods:
             bits = rng.integers(0, 2, size=n_bits)

@@ -420,7 +420,8 @@ class HwmonSampler:
         )
         require_positive(poll_hz, "poll_hz")
         grid = start + np.arange(n_samples) / poll_hz
-        if self.poll_jitter == 0.0:
+        # Exact-zero sentinel: jitter is configured, never computed.
+        if self.poll_jitter == 0.0:  # repro: ignore[API002]
             return grid
         rng = spawn(self._seed, f"sampler-{stream}-{start!r}")
         jitter = self.poll_jitter * rng.standard_normal(n_samples)

@@ -24,7 +24,7 @@ from typing import Callable, Dict, List
 import numpy as np
 
 from repro.soc.workload import ActivityTimeline, PiecewiseActivity
-from repro.utils.rng import RngLike, spawn
+from repro.utils.rng import RngLike, ensure_rng, spawn
 
 #: The workload classes this library generates.
 WORKLOAD_CLASSES = ("burst", "stream", "memory", "crypto")
@@ -148,6 +148,6 @@ def generate_dataset(
     victims: List[WorkloadInstance] = []
     for kind in WORKLOAD_CLASSES:
         for _ in range(instances_per_class):
-            rng = np.random.default_rng(base.integers(0, 2**63))
+            rng = ensure_rng(int(base.integers(0, 2**63)))
             victims.append(_GENERATORS[kind](rng))
     return victims

@@ -38,7 +38,7 @@ _FIT_LOCK = threading.Lock()
 def _grow_tree(X, y, params, tree_seed) -> DecisionTreeClassifier:
     """Grow one tree deterministically from its integer seed."""
     max_depth, max_features, min_samples_leaf, bootstrap = params
-    rng = np.random.default_rng(int(tree_seed))
+    rng = ensure_rng(int(tree_seed))
     n = X.shape[0]
     if bootstrap:
         sample = rng.integers(0, n, size=n)

@@ -167,7 +167,8 @@ def run_fingerprint_bench(
             "speedup": _speedup(serial_timer.total, parallel_timer.total),
         },
         "parity": {
-            "identical": max_diff == 0.0,
+            # The determinism contract demands *exact* equality here.
+            "identical": max_diff == 0.0,  # repro: ignore[API002]
             "max_abs_diff": max_diff,
         },
         "faults_disabled_overhead": overhead,

@@ -23,22 +23,17 @@ from typing import List, Optional, Tuple
 from repro.boards.catalog import BoardSpec
 from repro.core.sampler import HwmonSampler
 from repro.soc.soc import QUANTITY_ATTRS, Soc
-from repro.utils.rng import derive_seed
+from repro.utils.rng import derive_seed, normalize_seed
+
+__all__ = [
+    "DEFAULT_BOARD",
+    "AttackSession",
+    "normalize_seed",
+    "resolve_session",
+]
 
 #: Default board: the paper's experimental machine.
 DEFAULT_BOARD = "ZCU102"
-
-
-def normalize_seed(seed: Optional[int]) -> int:
-    """The library-wide seed policy: ``None`` means seed 0.
-
-    Every acquisition component keys its noise streams off one integer
-    session seed.  ``None`` used to mean "fresh entropy" in some
-    constructors and 0 in others; a recording that cannot be replayed
-    is useless to the offline plane, so the unseeded case now pins to
-    the default seed everywhere.
-    """
-    return 0 if seed is None else int(seed)
 
 
 class AttackSession:

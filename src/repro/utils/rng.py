@@ -16,15 +16,29 @@ import numpy as np
 RngLike = Union[int, np.random.Generator, None]
 
 
+def normalize_seed(seed: Optional[int]) -> int:
+    """The library-wide seed policy: ``None`` means seed 0.
+
+    Every component keys its noise streams off one integer seed.
+    ``None`` used to mean "fresh entropy" in some constructors and 0 in
+    others; a run that cannot be replayed is useless to the offline
+    analysis plane, so the unseeded case pins to the default seed
+    everywhere.  (Re-exported by :mod:`repro.session`, which applies
+    the same policy at session construction.)
+    """
+    return 0 if seed is None else int(seed)
+
+
 def ensure_rng(seed: RngLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
-    ``seed`` may be ``None`` (fresh entropy), an integer, or an existing
+    ``seed`` may be ``None`` (normalized to the default seed 0 — never
+    OS entropy, per :func:`normalize_seed`), an integer, or an existing
     generator (returned unchanged so callers can share a stream).
     """
     if isinstance(seed, np.random.Generator):
         return seed
-    return np.random.default_rng(seed)
+    return np.random.default_rng(normalize_seed(seed))
 
 
 def spawn(seed: RngLike, name: str) -> np.random.Generator:

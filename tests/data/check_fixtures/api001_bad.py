@@ -1,0 +1,16 @@
+"""Fixture: API001 must flag raw hwmon reads outside the boundary."""
+
+import numpy as np
+
+
+def naive_poll_loop(device, times):
+    # Bypasses fault plans, hardening and health tracking.
+    return device.read_series("curr1_input", times)
+
+
+def naive_batched_poll(device, times):
+    return device.read_series_batch([("curr1_input", times)])
+
+
+def peek_registers(device):
+    return device.readings_at(np.array([0.0]))

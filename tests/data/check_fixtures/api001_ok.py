@@ -1,0 +1,13 @@
+"""Fixture: API001 must stay quiet on the sanctioned sampling facade."""
+
+
+def sanctioned_poll(soc, times):
+    return soc.sample("fpga", "current", times)
+
+
+def sanctioned_faulted_poll(soc, times):
+    return soc.sample_faulted("fpga", "current", times)
+
+
+def sanctioned_trace(sampler):
+    return sampler.collect("fpga", "current", duration=1.0)

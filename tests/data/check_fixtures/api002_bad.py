@@ -1,0 +1,9 @@
+"""Fixture: API002 must flag exact float comparisons on data."""
+
+
+def accuracy_gate(result):
+    return result.top1 == 0.997
+
+
+def is_centered(values):
+    return values.mean() != -0.5

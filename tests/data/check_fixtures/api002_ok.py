@@ -1,0 +1,20 @@
+"""Fixture: API002 must stay quiet on safe comparison styles."""
+
+import numpy as np
+
+
+def integer_register_compare(reading):
+    return reading.current_register == 1250
+
+
+def tolerant_compare(result):
+    return np.isclose(result.top1, 0.997)
+
+
+def ordering_compare(values):
+    return values.mean() > 0.5
+
+
+def suppressed_sentinel(rate):
+    # Exact-zero sentinel on a configured value, explicitly waived.
+    return rate == 0.0  # repro: ignore[API002]

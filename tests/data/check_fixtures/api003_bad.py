@@ -1,0 +1,21 @@
+"""Fixture: API003 must flag mutable default arguments."""
+
+import numpy as np
+
+
+def collect_into(trace, bucket=[]):
+    bucket.append(trace)
+    return bucket
+
+
+def tag_with(trace, labels={}):
+    labels[trace] = True
+    return labels
+
+
+def pad_trace(values, padding=np.zeros(4)):
+    return list(values) + list(padding)
+
+
+def dedupe(items, *, seen=set()):
+    return [item for item in items if item not in seen]

@@ -1,0 +1,13 @@
+"""Fixture: API003 must stay quiet on None-defaulted arguments."""
+
+
+def collect_into(trace, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(trace)
+    return bucket
+
+
+def window(trace, bounds=(0.0, 1.0)):
+    # Immutable defaults are fine.
+    return trace, bounds

@@ -1,0 +1,31 @@
+"""Fixture: CONC001 must flag worker tasks mutating module globals."""
+
+from repro.perf.executor import parallel_map
+
+_RESULTS = []
+_CACHE = {}
+_COUNTER = 0
+
+
+def accumulate(item):
+    # The append lands in the forked worker's copy and is lost.
+    _RESULTS.append(item * 2)
+    return item
+
+
+def memoize(item):
+    _CACHE[item] = item * 2
+    return _CACHE[item]
+
+
+def count(item):
+    global _COUNTER
+    _COUNTER += 1
+    return item
+
+
+def run(items):
+    a = parallel_map(accumulate, items)
+    b = parallel_map(memoize, items)
+    c = parallel_map(count, items)
+    return a, b, c

@@ -1,0 +1,16 @@
+"""Fixture: CONC001 must stay quiet on pure worker tasks."""
+
+from repro.perf.executor import parallel_map
+
+_SCALE = 3  # read-only module state is fork-safe
+
+
+def pure_task(item):
+    local = [item]
+    local.append(item * _SCALE)
+    return sum(local)
+
+
+def run(items):
+    # State flows through arguments and return values only.
+    return parallel_map(pure_task, items)

@@ -1,0 +1,37 @@
+"""Fixture: CONC002 must stay quiet when the lock is held (or absent)."""
+
+import threading
+
+_FIT_CONTEXT = None
+_FIT_LOCK = threading.Lock()
+
+
+def swap_context(context):
+    global _FIT_CONTEXT
+    with _FIT_LOCK:
+        previous = _FIT_CONTEXT
+        _FIT_CONTEXT = context
+    return previous
+
+
+class Scheduler:
+    def __init__(self):
+        self._clock = 0.0
+        self._clock_lock = threading.Lock()
+
+    def next_window(self, duration: float) -> float:
+        with self._clock_lock:
+            start = self._clock
+            self._clock += duration
+            return start
+
+
+class LocklessTimeline:
+    """A `_clock` with no `_clock_lock` in scope is not under contract."""
+
+    def __init__(self):
+        self._clock = 0.0
+
+    def advance(self, duration: float) -> float:
+        self._clock += duration
+        return self._clock

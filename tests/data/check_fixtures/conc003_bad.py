@@ -1,0 +1,25 @@
+"""Fixture: CONC003 must flag closures/lambdas handed to parallel_map."""
+
+from repro.perf.executor import parallel_map
+
+
+def run_with_lambda(items, scale):
+    return parallel_map(lambda item: item * scale, items)
+
+
+def run_with_closure(items):
+    handle = open("/tmp/conc003-fixture.log", "w")
+
+    def task(item):
+        handle.write(str(item))
+        return item
+
+    try:
+        return parallel_map(task, items)
+    finally:
+        handle.close()
+
+
+def run_with_named_lambda(items):
+    double = lambda item: item * 2  # noqa: E731
+    return parallel_map(double, items)

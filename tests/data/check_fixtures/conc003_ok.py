@@ -1,0 +1,11 @@
+"""Fixture: CONC003 must stay quiet on module-level task functions."""
+
+from repro.perf.executor import parallel_map
+
+
+def double(item):
+    return item * 2
+
+
+def run(items):
+    return parallel_map(double, items, workers=2)

@@ -1,0 +1,16 @@
+"""Fixture: RNG001 must flag unseeded Generator construction."""
+
+import numpy as np
+from numpy.random import default_rng
+
+
+def fresh_entropy_generator():
+    return np.random.default_rng()
+
+
+def explicit_none_seed():
+    return default_rng(None)
+
+
+def unseeded_seed_sequence():
+    return np.random.SeedSequence()

@@ -1,0 +1,21 @@
+"""Fixture: RNG001 must stay quiet on seeded/helper construction."""
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng, spawn
+
+
+def seeded_generator(seed: int):
+    return np.random.default_rng(seed)
+
+
+def policy_generator(seed):
+    return ensure_rng(seed)
+
+
+def named_stream(seed):
+    return spawn(seed, "sensor-noise")
+
+
+def seeded_sequence(seed: int):
+    return np.random.SeedSequence(seed)

@@ -1,0 +1,35 @@
+"""Fixture: RNG002 must flag unseedable/global entropy sources."""
+
+import os
+import random
+import secrets
+import uuid
+from random import shuffle
+
+import numpy as np
+
+
+def stdlib_random():
+    return random.random()
+
+
+def imported_shuffle(items):
+    shuffle(items)
+    return items
+
+
+def os_entropy():
+    return os.urandom(16)
+
+
+def secrets_token():
+    return secrets.token_bytes(8)
+
+
+def random_uuid():
+    return uuid.uuid4()
+
+
+def legacy_numpy_global():
+    np.random.seed(0)
+    return np.random.rand(4)

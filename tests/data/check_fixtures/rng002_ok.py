@@ -1,0 +1,10 @@
+"""Fixture: RNG002 must stay quiet on explicit Generator draws."""
+
+from repro.utils.rng import ensure_rng
+
+
+def explicit_generator_draws(seed: int):
+    rng = ensure_rng(seed)
+    values = rng.random(8)
+    rng.shuffle(values)  # a Generator method, not np.random.shuffle
+    return values, rng.integers(0, 10, size=4)

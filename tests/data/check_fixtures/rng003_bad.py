@@ -1,0 +1,8 @@
+"""Fixture: RNG003 must flag direct default_rng outside utils.rng."""
+
+import numpy as np
+
+
+def direct_construction(seed: int):
+    # Seeded, so RNG001 passes — but the seed policy is bypassed.
+    return np.random.default_rng(seed)

@@ -1,0 +1,7 @@
+"""Fixture: RNG003 must stay quiet when the helper is used."""
+
+from repro.utils.rng import ensure_rng, spawn
+
+
+def policy_construction(seed: int):
+    return ensure_rng(seed), spawn(seed, "child-stream")

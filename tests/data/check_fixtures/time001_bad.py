@@ -1,0 +1,18 @@
+"""Fixture: TIME001 must flag wall-clock reads in simulated-time code."""
+
+import time
+from datetime import datetime
+from time import monotonic
+
+
+def stamp_trace(trace):
+    trace.recorded_at = time.time()
+    return trace
+
+
+def label_run():
+    return datetime.now().isoformat()
+
+
+def elapsed_guess(start):
+    return monotonic() - start

@@ -1,0 +1,10 @@
+"""Fixture: TIME001 must stay quiet on simulated-clock arithmetic."""
+
+
+def advance_clock(clock: float, duration: float, guard: float) -> float:
+    # Simulated time is plain arithmetic on the experiment clock.
+    return clock + duration + guard
+
+
+def poll_grid(start: float, n_samples: int, poll_hz: float):
+    return [start + index / poll_hz for index in range(n_samples)]

@@ -14,6 +14,28 @@ class TestEnsureRng:
     def test_from_none_returns_generator(self):
         assert isinstance(rng.ensure_rng(None), np.random.Generator)
 
+    def test_from_none_is_deterministic(self):
+        # None routes through normalize_seed (None -> 0): two fresh
+        # calls must yield identical streams, not fresh OS entropy.
+        a = rng.ensure_rng(None).random(16)
+        b = rng.ensure_rng(None).random(16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_none_equals_seed_zero(self):
+        a = rng.ensure_rng(None).random(16)
+        b = rng.ensure_rng(0).random(16)
+        np.testing.assert_array_equal(a, b)
+
+    def test_normalize_seed(self):
+        assert rng.normalize_seed(None) == 0
+        assert rng.normalize_seed(7) == 7
+        assert rng.normalize_seed(np.int64(3)) == 3
+
+    def test_normalize_seed_reexported_by_session(self):
+        from repro.session import normalize_seed
+
+        assert normalize_seed is rng.normalize_seed
+
     def test_passthrough_generator_identity(self):
         gen = np.random.default_rng(7)
         assert rng.ensure_rng(gen) is gen
