@@ -1,0 +1,71 @@
+"""Bench smoke: per-kernel budgets for the vectorized hot path.
+
+Runs :func:`repro.perf.kernels.run_kernel_bench` once and holds two
+lines:
+
+* every kernel must be *bit-identical* to its frozen legacy twin —
+  a fast-but-different kernel is a correctness bug;
+* every kernel must stay inside a generous absolute wall-time budget
+  (an order of magnitude above typical, so scheduler noise never trips
+  it) — catching only catastrophic regressions such as an accidental
+  fallback onto the per-node argsort path.
+
+Run alone with ``pytest benchmarks -m bench_smoke``.
+"""
+
+import pytest
+
+from repro.perf.kernels import KERNEL_BENCHES, run_kernel_bench
+
+pytestmark = pytest.mark.bench_smoke
+
+#: Ceilings in seconds for the vectorized side, ~10x typical 1-CPU
+#: container numbers; the point is catching order-of-magnitude
+#: regressions, not enforcing exact timings.
+KERNEL_BUDGETS = {
+    "tree_fit": 0.5,
+    "forest_fit": 5.0,
+    "forest_predict": 0.25,
+    "resample": 0.25,
+    "summary": 0.25,
+    "kfold": 0.25,
+    "archive_load": 1.0,
+}
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_kernel_bench(seed=0, repeats=3)
+
+
+def test_report_covers_every_kernel(report):
+    assert set(report) == set(KERNEL_BENCHES)
+    assert set(report) == set(KERNEL_BUDGETS)
+
+
+def test_every_kernel_is_bit_identical(report):
+    for kernel, entry in report.items():
+        assert entry["identical"], (
+            f"{kernel} drifted from the legacy implementation "
+            f"(max abs diff {entry['max_abs_diff']})"
+        )
+        assert entry["max_abs_diff"] == 0.0
+
+
+def test_every_kernel_within_budget(report):
+    for kernel, entry in report.items():
+        budget = KERNEL_BUDGETS[kernel]
+        assert entry["vectorized_seconds"] <= budget, (
+            f"{kernel} took {entry['vectorized_seconds']:.3f}s, "
+            f"budget {budget}s"
+        )
+
+
+def test_hot_kernels_actually_beat_legacy(report):
+    # The tentpole claim: the tree/forest fit path is where evaluate
+    # spends its time, and the rework must win there outright.
+    for kernel in ("tree_fit", "forest_fit"):
+        assert report[kernel]["speedup"] > 1.5, (
+            f"{kernel} speedup {report[kernel]['speedup']:.2f}x — "
+            "the vectorized path regressed to legacy territory"
+        )

@@ -30,6 +30,10 @@ API002      no float ``==`` / ``!=`` on computed data (seed/chunking
             fragile); exact sentinels must be suppressed explicitly
 API003      no mutable default arguments (shared across calls — and
             across forked workers)
+API004      no ``argsort`` calls inside loops outside ``repro/ml`` —
+            per-iteration sorting is the quadratic pattern the
+            presorted kernels replaced (``repro/perf`` keeps the
+            frozen legacy copies and is exempt)
 ==========  ============================================================
 
 Each rule is a pure function ``(Module) -> List[Finding]``; the engine
@@ -755,6 +759,79 @@ def check_api003(module: Module) -> List[Finding]:
     return findings
 
 
+# ------------------------------------------------------------------- API004
+
+#: Where per-iteration sorts are sanctioned: the presorted CART itself
+#: (repro/ml — one stable presort per fit plus a measured small-node
+#: branch) and the frozen legacy kernels + micro-benches (repro/perf)
+#: whose whole point is preserving the old pattern for comparison.
+_ARGSORT_ALLOWED = ("repro/ml/", "repro/perf/")
+
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def check_api004(module: Module) -> List[Finding]:
+    """Sorting inside a loop re-derives order the caller should presort.
+
+    One ``argsort`` per node/row/trace is how the pre-vectorization
+    CART spent its time: O(n log n) work per iteration that a single
+    columnwise presort (or one batched sort) does once.  Outside the
+    sanctioned kernels, an ``argsort`` in any loop body (or
+    comprehension) is flagged — hoist it above the loop or batch the
+    whole operation.
+    """
+    if _path_matches(module.rel_path, _ARGSORT_ALLOWED):
+        return []
+    aliases = _import_map(module.tree)
+    findings = []
+    seen: Set[int] = set()
+    once: Set[int] = set()
+    for loop in ast.walk(module.tree):
+        if not isinstance(loop, _LOOP_NODES):
+            continue
+        # The iterable itself is evaluated once, not per iteration:
+        # ``for i in np.argsort(x)`` is a single sort and stays legal.
+        header = getattr(loop, "iter", None)
+        if header is None and getattr(loop, "generators", None):
+            header = loop.generators[0].iter
+        if header is not None:
+            once.update(id(sub) for sub in ast.walk(header))
+        for node in ast.walk(loop):
+            if (
+                not isinstance(node, ast.Call)
+                or id(node) in seen
+                or id(node) in once
+            ):
+                continue
+            target = _canonical(node.func, aliases)
+            is_argsort = target == "numpy.argsort" or (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr == "argsort"
+            )
+            if is_argsort:
+                seen.add(id(node))
+                findings.append(
+                    module.finding(
+                        "API004",
+                        node,
+                        "argsort inside a loop re-sorts per iteration — "
+                        "the quadratic pattern the presorted kernels "
+                        "replaced; presort once outside the loop (see "
+                        "repro.ml.tree's columnwise presort) or batch "
+                        "the sort over one axis",
+                    )
+                )
+    return findings
+
+
 # ----------------------------------------------------------------- registry
 
 RULES: Dict[str, Rule] = {
@@ -829,6 +906,13 @@ RULES: Dict[str, Rule] = {
             "mutable defaults are shared across calls and forked "
             "workers",
             check_api003,
+        ),
+        Rule(
+            "API004",
+            "argsort-in-loop",
+            "per-iteration argsort outside repro/ml re-derives order "
+            "the presorted/batched kernels compute once",
+            check_api004,
         ),
     )
 }

@@ -372,7 +372,7 @@ def _cmd_record(args: argparse.Namespace) -> int:
 def _cmd_analyze(args: argparse.Namespace) -> int:
     from repro.core.io import TraceArchiveReader
 
-    archive = TraceArchiveReader(args.archive)
+    archive = TraceArchiveReader(args.archive, mmap=True)
     experiment = archive.meta.get("experiment")
     if experiment == "fingerprint":
         from repro.core.fingerprint import FingerprintAnalyzer
@@ -407,7 +407,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     from repro.core.detector import OnsetDetector
     from repro.core.io import TraceArchiveReader
 
-    archive = TraceArchiveReader(args.archive)
+    archive = TraceArchiveReader(args.archive, mmap=True)
     if archive.meta.get("experiment") == "covert":
         from repro.core.covert_channel import decode_frame
 

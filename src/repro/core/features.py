@@ -5,9 +5,18 @@ hwmon readings over the collection window — fed to a random forest.
 The only processing needed is bringing variable-length polling sessions
 onto a fixed-width grid (resampling) so traces of different durations
 and poll phases align column-wise, plus optional standardization.
+
+Resampling has two entry points: :func:`resample_values` for one trace
+(the online classification path) and :func:`resample_batch` for a
+ragged list of traces (the dataset→matrix path).  The batch form
+groups traces by length and interpolates each group in one vectorized
+pass; it is bit-identical to stacking per-trace ``np.interp`` calls,
+which ``tests/test_kernel_parity.py`` pins.
 """
 
 from __future__ import annotations
+
+from typing import Sequence
 
 import numpy as np
 
@@ -32,6 +41,65 @@ def resample_values(values: np.ndarray, n_features: int) -> np.ndarray:
     return np.interp(target, source, values)
 
 
+def _interp_rows(
+    target: np.ndarray, length: int, rows: np.ndarray
+) -> np.ndarray:
+    """``np.interp(target, linspace(0, 1, length), row)`` for every row.
+
+    Mirrors NumPy's compiled interp arithmetic exactly — same interval
+    lookup, same ``slope * (x - xp[j]) + fp[j]`` evaluation — so the
+    vectorized result is bitwise equal to the per-row calls.  The
+    endpoint patches reproduce interp's short-circuits: ``x`` at or
+    past the last knot returns the last sample directly (the slope
+    formula there is mathematically equal but not bitwise), and exact
+    interior knot hits return the knot's sample.
+    """
+    source = np.linspace(0.0, 1.0, length)
+    interval = np.searchsorted(source, target, side="right") - 1
+    interval = np.clip(interval, 0, length - 2)
+    x0 = source[interval]
+    slope = (rows[:, interval + 1] - rows[:, interval]) / (
+        source[interval + 1] - x0
+    )
+    result = slope * (target - x0) + rows[:, interval]
+    exact = x0 == target
+    if exact.any():
+        result[:, exact] = rows[:, interval[exact]]
+    result[:, target >= source[-1]] = rows[:, -1:]
+    result[:, target <= source[0]] = rows[:, :1]
+    return result
+
+
+def resample_batch(
+    values_list: Sequence[np.ndarray], n_features: int
+) -> np.ndarray:
+    """Resample a ragged batch of 1-D series into an ``(n_traces,
+    n_features)`` matrix.
+
+    Structure-of-arrays form of :func:`resample_values`: traces are
+    grouped by length and every group is interpolated in one pass
+    (traces of equal length share their knot grid and interval
+    lookup).  Output rows are bit-identical to calling
+    :func:`resample_values` per trace.
+    """
+    n_features = require_int_in_range(n_features, 1, 1_000_000, "n_features")
+    arrays = [np.asarray(values, dtype=np.float64) for values in values_list]
+    for values in arrays:
+        if values.ndim != 1 or values.size == 0:
+            raise ValueError("values must be a non-empty 1-D array")
+    matrix = np.empty((len(arrays), n_features))
+    lengths = np.array([values.size for values in arrays], dtype=np.int64)
+    target = np.linspace(0.0, 1.0, n_features)
+    for length in np.unique(lengths):
+        members = np.nonzero(lengths == length)[0]
+        group = np.stack([arrays[index] for index in members])
+        if length == 1:
+            matrix[members] = group  # constant rows broadcast across
+        else:
+            matrix[members] = _interp_rows(target, int(length), group)
+    return matrix
+
+
 def standardize(matrix: np.ndarray) -> np.ndarray:
     """Zero-mean / unit-variance per column (constant columns pass
     through unchanged, shifted to zero)."""
@@ -45,13 +113,38 @@ def standardize(matrix: np.ndarray) -> np.ndarray:
 
 
 def summary_features(values: np.ndarray) -> np.ndarray:
-    """Compact 8-feature summary of one trace.
+    """Compact 8-feature summary per trace.
 
     Mean / std / min / max / quartiles / mean absolute step — useful
     for quick demos and as a baseline against the full resampled
     representation.
+
+    Accepts one trace (1-D, returns shape ``(8,)``) or a batch of
+    equal-length traces (2-D row-per-trace, returns ``(n_traces, 8)``
+    with one summary row per input row, bit-identical to calling the
+    1-D form row by row).
     """
     values = np.asarray(values, dtype=np.float64)
+    if values.ndim == 2:
+        if values.shape[0] == 0 or values.shape[1] == 0:
+            raise ValueError("batch must be non-empty in both dimensions")
+        q1, median, q3 = np.percentile(values, [25, 50, 75], axis=1)
+        if values.shape[1] > 1:
+            mean_step = np.mean(np.abs(np.diff(values, axis=1)), axis=1)
+        else:
+            mean_step = np.zeros(values.shape[0])
+        return np.column_stack(
+            [
+                values.mean(axis=1),
+                values.std(axis=1),
+                values.min(axis=1),
+                values.max(axis=1),
+                q1,
+                median,
+                q3,
+                mean_step,
+            ]
+        )
     if values.ndim != 1 or values.size == 0:
         raise ValueError("values must be a non-empty 1-D array")
     q1, median, q3 = np.percentile(values, [25, 50, 75])

@@ -170,6 +170,7 @@ class FingerprintAnalyzer:
         workers: Optional[int] = None,
         config: Optional[FingerprintConfig] = None,
         seed: Optional[int] = None,
+        mmap: bool = True,
     ) -> Tuple["FingerprintAnalyzer", Dict[Tuple[str, str], TraceSet]]:
         """Open a recorded dataset and the analyzer that evaluates it.
 
@@ -178,11 +179,17 @@ class FingerprintAnalyzer:
         override them (e.g. to re-evaluate one dataset under many
         analysis settings — train-many-from-one-dataset).
 
+        Trace arrays are memory-mapped off disk by default (zero-copy
+        views; see :class:`~repro.core.io.TraceArchiveReader`) instead
+        of materializing the whole archive; ``mmap=False`` restores
+        resident loads, and an already-open reader keeps its own
+        setting.
+
         Returns ``(analyzer, datasets)`` with datasets keyed by
         ``(domain, quantity)``.
         """
         if not isinstance(archive, TraceArchiveReader):
-            archive = TraceArchiveReader(archive)
+            archive = TraceArchiveReader(archive, mmap=mmap)
         meta = archive.meta
         if config is None and "config" in meta:
             config = FingerprintConfig.from_dict(meta["config"])
@@ -234,10 +241,9 @@ class FingerprintAnalyzer:
         cached = self._feature_cache.get(key)
         if cached is not None and cached[0] is dataset:
             return cached[1], cached[2]
-        source = (
-            dataset if duration is None else dataset.truncated(duration)
-        )
-        X, y = source.to_matrix(n_features)
+        # Truncation and resampling happen inside the batched
+        # dataset→matrix kernel; no per-duration TraceSet copies.
+        X, y = dataset.to_matrix(n_features, duration=duration)
         if len(self._feature_cache) >= self._FEATURE_CACHE_LIMIT:
             self._feature_cache.clear()
         self._feature_cache[key] = (dataset, X, y)

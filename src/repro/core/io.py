@@ -15,6 +15,13 @@ machine.  Two formats are supported:
   may be split across parts (``trace_id`` + ``part``) and reassemble
   bit-exactly on load.
 
+Chunks are written *uncompressed* (``np.savez``), which makes every
+array a contiguous byte range inside its ``.npz`` — so readers can
+memory-map chunk arrays straight off disk (``mmap=True`` on
+:class:`TraceArchiveReader` / :func:`read_chunk_entry`) instead of
+copying them through the zip layer.  Compressed chunks from older
+archives still load through the copying path transparently.
+
 Readings are integers and timestamps float64; both formats round-trip
 bit-exactly.
 """
@@ -22,11 +29,13 @@ bit-exactly.
 from __future__ import annotations
 
 import json
+import struct
 import zipfile
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple, Union
 
 import numpy as np
+from numpy.lib import format as npy_format
 
 from repro.core.traces import Trace, TraceQuality, TraceSet
 
@@ -126,12 +135,93 @@ def _load_traceset_v1(path: Path) -> TraceSet:
 # --------------------------------------------------- v2 directory archive
 
 
-def read_chunk_entry(path: Path, entry: dict) -> Trace:
+#: Byte layout of a zip local file header: the name/extra lengths that
+#: position a STORED member's payload sit at offsets 26 and 28.
+_ZIP_LOCAL_HEADER_SIZE = 30
+_ZIP_LOCAL_MAGIC = b"PK\x03\x04"
+
+
+def _mmap_npz_arrays(
+    chunk_path: Path, names: Tuple[str, ...]
+) -> Optional[Dict[str, np.ndarray]]:
+    """Read-only memory-mapped views of uncompressed ``.npz`` members.
+
+    A ``np.savez`` archive stores each array as a STORED (uncompressed)
+    zip member, so the ``.npy`` payload is one contiguous byte range of
+    the file: locate it through the member's local header, parse the
+    ``.npy`` header, and hand back an ``np.memmap`` view — no copy, no
+    decompression, pages fault in on first touch.
+
+    Returns ``None`` whenever zero-copy is impossible (compressed
+    members from older archives, unexpected ``.npy`` versions), letting
+    callers fall back to the regular :func:`np.load` path.  Corruption
+    raises the same exception types ``np.load`` would.
+    """
+    offsets = {}
+    with open(chunk_path, "rb") as handle:
+        with zipfile.ZipFile(handle) as archive:
+            for name in names:
+                info = archive.getinfo(f"{name}.npy")
+                if info.compress_type != zipfile.ZIP_STORED:
+                    return None
+                # The central directory's name/extra lengths can differ
+                # from the local header's; the payload follows the
+                # *local* header, so read the lengths from there.
+                handle.seek(info.header_offset)
+                local = handle.read(_ZIP_LOCAL_HEADER_SIZE)
+                if (
+                    len(local) != _ZIP_LOCAL_HEADER_SIZE
+                    or local[:4] != _ZIP_LOCAL_MAGIC
+                ):
+                    raise zipfile.BadZipFile(
+                        f"bad local file header for {name}.npy"
+                    )
+                name_length, extra_length = struct.unpack(
+                    "<HH", local[26:30]
+                )
+                handle.seek(
+                    info.header_offset
+                    + _ZIP_LOCAL_HEADER_SIZE
+                    + name_length
+                    + extra_length
+                )
+                version = npy_format.read_magic(handle)
+                if version == (1, 0):
+                    shape, fortran, dtype = (
+                        npy_format.read_array_header_1_0(handle)
+                    )
+                elif version == (2, 0):
+                    shape, fortran, dtype = (
+                        npy_format.read_array_header_2_0(handle)
+                    )
+                else:
+                    return None
+                if dtype.hasobject:
+                    raise ValueError(
+                        f"object arrays in {chunk_path} cannot be mapped"
+                    )
+                offsets[name] = (handle.tell(), shape, fortran, dtype)
+    return {
+        name: np.memmap(
+            chunk_path,
+            dtype=dtype,
+            mode="r",
+            offset=offset,
+            shape=shape,
+            order="F" if fortran else "C",
+        )
+        for name, (offset, shape, fortran, dtype) in offsets.items()
+    }
+
+
+def read_chunk_entry(path: Path, entry: dict, mmap: bool = False) -> Trace:
     """Load one manifest chunk entry from an archive directory.
 
     Shared by :class:`TraceArchiveReader` and by resumed
     :class:`TraceArchiveWriter` sessions rebuilding their in-memory
-    datasets from already-persisted chunks.
+    datasets from already-persisted chunks.  ``mmap=True`` maps the
+    chunk's arrays off disk instead of copying them (falling back to a
+    copy for compressed chunks written by older archives).
     """
     chunk_path = Path(path) / entry["file"]
     if not chunk_path.exists():
@@ -140,9 +230,18 @@ def read_chunk_entry(path: Path, entry: dict) -> Trace:
             f"{entry['file']} is missing"
         )
     try:
-        with np.load(chunk_path, allow_pickle=False) as arrays:
-            times = arrays["times"]
-            values = arrays["values"]
+        mapped = (
+            _mmap_npz_arrays(chunk_path, ("times", "values"))
+            if mmap
+            else None
+        )
+        if mapped is not None:
+            times = mapped["times"]
+            values = mapped["values"]
+        else:
+            with np.load(chunk_path, allow_pickle=False) as arrays:
+                times = arrays["times"]
+                values = arrays["values"]
     except (zipfile.BadZipFile, OSError, ValueError, KeyError) as error:
         raise ArchiveError(
             f"corrupted chunk {entry['file']} in {path}: {error}"
@@ -396,6 +495,11 @@ class TraceArchiveWriter:
         chunks sharing a ``trace_id`` are concatenated in ``part``
         order at load time.  Left unset, each append is its own
         single-part trace.
+
+        Chunks are stored uncompressed so readers can memory-map the
+        arrays in place; ``np.savez`` is deterministic (fixed zip
+        timestamps, STORED members), so archive bytes stay a pure
+        function of the recording.
         """
         if self._closed:
             raise ArchiveError(f"archive {self.path} is already closed")
@@ -405,7 +509,7 @@ class TraceArchiveWriter:
         if trace_id is None:
             trace_id = f"trace-{index:06d}"
         file_name = f"chunk_{index:06d}.npz"
-        np.savez_compressed(
+        np.savez(
             self.path / file_name, times=trace.times, values=trace.values
         )
         entry = {
@@ -483,11 +587,20 @@ class TraceArchiveReader:
         allow_partial: accept an unsealed (footer-less) manifest —
             for tailing a capture still in progress.  Default strict:
             a missing footer raises :class:`ArchiveError`.
+        mmap: memory-map chunk arrays instead of copying them into
+            RAM — traces become read-only views whose pages fault in
+            on first touch, so replaying a large archive no longer
+            materializes it.  Compressed chunks from older archives
+            fall back to the copying path per chunk.
     """
 
     def __init__(
-        self, path: Union[str, Path], allow_partial: bool = False
+        self,
+        path: Union[str, Path],
+        allow_partial: bool = False,
+        mmap: bool = False,
     ):
+        self.mmap = bool(mmap)
         self.path = Path(path)
         manifest_path = self.path / MANIFEST_NAME
         if not manifest_path.exists():
@@ -549,7 +662,7 @@ class TraceArchiveReader:
         return len(self.entries)
 
     def _read_chunk(self, entry: dict) -> Trace:
-        return read_chunk_entry(self.path, entry)
+        return read_chunk_entry(self.path, entry, mmap=self.mmap)
 
     def iter_chunks(self) -> Iterator[Trace]:
         """Yield chunks in recorded order, one resident at a time.
@@ -619,10 +732,12 @@ def is_archive_dir(path: Union[str, Path]) -> bool:
 
 
 def open_archive(
-    path: Union[str, Path], allow_partial: bool = False
+    path: Union[str, Path],
+    allow_partial: bool = False,
+    mmap: bool = False,
 ) -> TraceArchiveReader:
     """Open a v2 archive for streaming reads."""
-    return TraceArchiveReader(path, allow_partial=allow_partial)
+    return TraceArchiveReader(path, allow_partial=allow_partial, mmap=mmap)
 
 
 def load_traceset(path: Union[str, Path]) -> TraceSet:

@@ -142,11 +142,12 @@ class Trace:
         """Span of the polling session in seconds."""
         return float(self.times[-1] - self.times[0])
 
-    def truncated(self, duration: float) -> "Trace":
-        """The prefix covering the first ``duration`` seconds.
+    def truncation_mask(self, duration: float) -> np.ndarray:
+        """Boolean sample mask for the first ``duration`` seconds.
 
-        This is how Table III's 1 s / 2 s / ... columns are produced
-        from the 5 s full-length recordings.
+        The single source of the truncation rule: :meth:`truncated`
+        applies it per trace and :meth:`TraceSet.to_matrix` applies it
+        batch-wise without building intermediate ``Trace`` objects.
         """
         if duration <= 0:
             raise ValueError("duration must be > 0")
@@ -154,6 +155,15 @@ class Trace:
         keep = self.times <= cutoff + 1e-12
         if not keep.any():
             keep[0] = True
+        return keep
+
+    def truncated(self, duration: float) -> "Trace":
+        """The prefix covering the first ``duration`` seconds.
+
+        This is how Table III's 1 s / 2 s / ... columns are produced
+        from the 5 s full-length recordings.
+        """
+        keep = self.truncation_mask(duration)
         return Trace(
             times=self.times[keep],
             values=self.values[keep],
@@ -219,26 +229,33 @@ class TraceSet:
         return TraceSet([trace.truncated(duration) for trace in self.traces])
 
     def to_matrix(
-        self, n_features: int
+        self, n_features: int, duration: Optional[float] = None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Fixed-width feature matrix + label vector for the classifier.
 
-        Each trace is resampled to ``n_features`` points (see
-        :func:`repro.core.features.resample_values`); unlabeled traces
-        are rejected since the matrix is a supervised dataset.
+        Each trace is resampled to ``n_features`` points through the
+        batched kernel (see :func:`repro.core.features.resample_batch`);
+        unlabeled traces are rejected since the matrix is a supervised
+        dataset.  With ``duration`` given, every trace is first
+        truncated to its opening ``duration`` seconds — equivalent to
+        ``self.truncated(duration).to_matrix(n_features)`` but without
+        materializing the intermediate trace objects.
         """
-        from repro.core.features import resample_values
+        from repro.core.features import resample_batch
 
         if not self.traces:
             raise ValueError("empty trace set")
-        rows = []
+        values_list = []
         labels = []
         for trace in self.traces:
             if trace.label is None:
                 raise ValueError("all traces must be labeled for to_matrix")
-            rows.append(resample_values(trace.values, n_features))
+            values = trace.values
+            if duration is not None:
+                values = values[trace.truncation_mask(duration)]
+            values_list.append(values)
             labels.append(trace.label)
-        return np.vstack(rows), np.asarray(labels)
+        return resample_batch(values_list, n_features), np.asarray(labels)
 
     def summary(self) -> Dict[str, int]:
         """Trace count per label."""

@@ -35,8 +35,14 @@ _FIT_CONTEXT: Optional[Tuple] = None
 _FIT_LOCK = threading.Lock()
 
 
-def _grow_tree(X, y, params, tree_seed) -> DecisionTreeClassifier:
-    """Grow one tree deterministically from its integer seed."""
+def _grow_tree(X, encoded, classes, params, tree_seed) -> DecisionTreeClassifier:
+    """Grow one tree deterministically from its integer seed.
+
+    Labels arrive pre-encoded as integer class codes (the forest runs
+    ``np.unique`` once instead of every tree re-uniquing label
+    strings); the code↔label map is monotone, so the grown tree is
+    identical and its ``classes_`` remap back to the real labels.
+    """
     max_depth, max_features, min_samples_leaf, bootstrap = params
     rng = ensure_rng(int(tree_seed))
     n = X.shape[0]
@@ -50,14 +56,15 @@ def _grow_tree(X, y, params, tree_seed) -> DecisionTreeClassifier:
         min_samples_leaf=min_samples_leaf,
         seed=rng,
     )
-    tree.fit(X[sample], y[sample])
+    tree.fit(X[sample], encoded[sample])
+    tree.classes_ = classes[tree.classes_]
     return tree
 
 
 def _grow_tree_task(tree_seed) -> DecisionTreeClassifier:
     """Pool-worker entry: fit data arrives via the forked context."""
-    X, y, params = _FIT_CONTEXT
-    return _grow_tree(X, y, params, tree_seed)
+    X, encoded, classes, params = _FIT_CONTEXT
+    return _grow_tree(X, encoded, classes, params, tree_seed)
 
 
 class RandomForestClassifier:
@@ -98,6 +105,9 @@ class RandomForestClassifier:
         self.trees_: List[DecisionTreeClassifier] = []
         self.classes_: Optional[np.ndarray] = None
         self.feature_importances_: Optional[np.ndarray] = None
+        # Padded forest-level node arrays for batched prediction,
+        # built lazily on first predict after a fit.
+        self._aligned_probas: Optional[Tuple[np.ndarray, ...]] = None
 
     def _tree_params(self) -> Tuple:
         return (
@@ -116,7 +126,7 @@ class RandomForestClassifier:
             raise ValueError(f"X must be 2-D, got shape {X.shape}")
         if y.shape != (X.shape[0],):
             raise ValueError("y must be 1-D with one label per row of X")
-        self.classes_ = np.unique(y)
+        self.classes_, encoded = np.unique(y, return_inverse=True)
         # One atomic draw decouples tree seeds from execution order.
         tree_seeds = self._rng.integers(
             0, np.iinfo(np.int64).max, size=self.n_estimators
@@ -125,11 +135,12 @@ class RandomForestClassifier:
         workers = resolve_workers(self.n_jobs)
         if workers <= 1 or self.n_estimators <= 1 or in_worker():
             self.trees_ = [
-                _grow_tree(X, y, params, seed) for seed in tree_seeds
+                _grow_tree(X, encoded, self.classes_, params, seed)
+                for seed in tree_seeds
             ]
         else:
             with _FIT_LOCK:
-                _FIT_CONTEXT = (X, y, params)
+                _FIT_CONTEXT = (X, encoded, self.classes_, params)
                 try:
                     self.trees_ = parallel_map(
                         _grow_tree_task,
@@ -144,24 +155,84 @@ class RandomForestClassifier:
             if tree.feature_importances_ is not None:
                 importances += tree.feature_importances_
         self.feature_importances_ = importances / self.n_estimators
+        self._aligned_probas = None
         return self
 
     def _check_fitted(self):
         if not self.trees_:
             raise RuntimeError("forest is not fitted; call fit() first")
 
+    def _batch_arrays(self) -> Tuple[np.ndarray, ...]:
+        """Forest-level node arrays for batched prediction.
+
+        Every tree's flat node arrays are padded to the widest tree:
+        children/features pad with -1, thresholds with NaN, and each
+        tree's ``(node_count, n_classes)`` probability matrix scatters
+        into the forest-wide class columns (bootstrap trees can miss
+        rare classes).  Built once per fit; ``predict_proba`` then
+        walks all trees simultaneously instead of looping per tree.
+        Padding with exact zeros keeps the averaged probabilities
+        bit-identical to the old accumulate-into-columns loop (tree
+        probabilities are non-negative, so ``x + 0.0`` is exact).
+        """
+        if self._aligned_probas is None:
+            n_trees = len(self.trees_)
+            n_classes = self.classes_.size
+            class_index = {
+                value: i for i, value in enumerate(self.classes_)
+            }
+            width = max(tree.node_count for tree in self.trees_)
+            left = np.full((n_trees, width), -1, dtype=np.int64)
+            right = np.full((n_trees, width), -1, dtype=np.int64)
+            feature = np.zeros((n_trees, width), dtype=np.int64)
+            threshold = np.full((n_trees, width), np.nan)
+            proba = np.zeros((n_trees, width, n_classes))
+            for position, tree in enumerate(self.trees_):
+                count = tree.node_count
+                left[position, :count] = tree._left_arr
+                right[position, :count] = tree._right_arr
+                feature[position, :count] = tree._feature_arr
+                threshold[position, :count] = tree._threshold_arr
+                columns = [class_index[value] for value in tree.classes_]
+                proba[position][
+                    np.arange(count)[:, np.newaxis], columns
+                ] = tree.node_proba_matrix
+            self._aligned_probas = (left, right, feature, threshold, proba)
+        return self._aligned_probas
+
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         """Forest probability: average of tree probabilities, with each
-        tree's (possibly partial) class set mapped onto the forest's."""
+        tree's (possibly partial) class set mapped onto the forest's.
+
+        Batched: all trees descend together over a ``(n_trees,
+        n_samples)`` node frontier, the leaf probabilities gather into
+        one ``(n_trees, n_samples, n_classes)`` tensor, and the tree
+        axis reduces in one pass (an axis-0 reduce accumulates
+        sequentially, matching the old per-tree loop bit for bit).
+        """
         self._check_fitted()
         X = np.asarray(X, dtype=np.float64)
-        n_classes = self.classes_.size
-        total = np.zeros((X.shape[0], n_classes))
-        class_index = {value: i for i, value in enumerate(self.classes_)}
-        for tree in self.trees_:
-            proba = tree.predict_proba(X)
-            columns = [class_index[value] for value in tree.classes_]
-            total[:, columns] += proba
+        left, right, feature, threshold, proba = self._batch_arrays()
+        n_trees = len(self.trees_)
+        n_rows = X.shape[0]
+        tree_idx = np.arange(n_trees)[:, np.newaxis]
+        row_idx = np.arange(n_rows)[np.newaxis, :]
+        nodes = np.zeros((n_trees, n_rows), dtype=np.int64)
+        while True:
+            current_left = left[tree_idx, nodes]
+            interior = current_left >= 0
+            if not interior.any():
+                break
+            # Leaf rows read feature -1 / threshold NaN; the NaN
+            # comparison is False and ``interior`` pins them in place.
+            values = X[row_idx, feature[tree_idx, nodes]]
+            goes_left = values <= threshold[tree_idx, nodes]
+            descended = np.where(
+                goes_left, current_left, right[tree_idx, nodes]
+            )
+            nodes = np.where(interior, descended, nodes)
+        stacked = proba[tree_idx, nodes]
+        total = np.add.reduce(stacked, axis=0)
         return total / self.n_estimators
 
     def predict(self, X: np.ndarray) -> np.ndarray:

@@ -36,17 +36,25 @@ from repro.utils.validation import require_int_in_range
 def stratified_kfold_indices(
     y: np.ndarray, n_folds: int, seed: RngLike = None
 ) -> List[np.ndarray]:
-    """Split sample indices into ``n_folds`` class-stratified folds."""
+    """Split sample indices into ``n_folds`` class-stratified folds.
+
+    Fold assembly is vectorized (each fold takes every ``n_folds``-th
+    member of each class's permutation, then one sort per fold) but
+    consumes the RNG identically to the original per-sample loop, so
+    the folds — and everything seeded downstream of them — are
+    unchanged.
+    """
     y = np.asarray(y)
     n_folds = require_int_in_range(n_folds, 2, y.size, "n_folds")
     rng = spawn(seed, "kfold")
-    folds: List[List[int]] = [[] for _ in range(n_folds)]
+    parts: List[List[np.ndarray]] = [[] for _ in range(n_folds)]
     for value in np.unique(y):
-        members = np.nonzero(y == value)[0]
-        members = rng.permutation(members)
-        for position, index in enumerate(members):
-            folds[position % n_folds].append(int(index))
-    return [np.asarray(sorted(fold), dtype=np.int64) for fold in folds]
+        members = rng.permutation(np.nonzero(y == value)[0])
+        for fold in range(n_folds):
+            parts[fold].append(members[fold::n_folds])
+    return [
+        np.sort(np.concatenate(part).astype(np.int64)) for part in parts
+    ]
 
 
 @dataclass(frozen=True)
@@ -128,12 +136,22 @@ def make_fold_jobs(
 
 
 def score_fold(job: FoldJob) -> Tuple[float, float]:
-    """Fit one fold's classifier and return its (top-1, top-5) scores."""
+    """Fit one fold's classifier and return its (top-1, top-5) scores.
+
+    One ``predict_proba`` pass serves both scores — ``predict`` and
+    ``predict_topk`` are thin argmax/argsort views over the same
+    probability matrix, so running the forest twice per fold was pure
+    waste.
+    """
     classifier, X, y, train, test = job
     classifier.fit(X[train], y[train])
-    top1 = accuracy(y[test], classifier.predict(X[test]))
+    proba = classifier.predict_proba(X[test])
+    top1 = accuracy(
+        y[test], classifier.classes_[np.argmax(proba, axis=1)]
+    )
     k = min(5, classifier.classes_.size)
-    top5 = top_k_accuracy(y[test], classifier.predict_topk(X[test], k))
+    order = np.argsort(-proba, axis=1, kind="stable")[:, :k]
+    top5 = top_k_accuracy(y[test], classifier.classes_[order])
     return top1, top5
 
 

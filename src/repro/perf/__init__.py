@@ -15,7 +15,10 @@ this package holds the shared machinery:
   profiler the benches report from;
 * :mod:`repro.perf.bench` — the fingerprinting pipeline bench that
   emits ``BENCH_fingerprint.json`` (per-stage wall time, parallel
-  speedup, serial-vs-parallel accuracy parity).
+  speedup, serial-vs-parallel accuracy parity);
+* :mod:`repro.perf.kernels` — per-kernel before/after micro-bench
+  pinning each vectorized kernel against its frozen legacy twin in
+  :mod:`repro.perf.reference` (timings plus bit-parity verdicts).
 """
 
 from repro.perf.config import (
@@ -33,6 +36,7 @@ from repro.perf.bench import (
     run_fingerprint_bench,
     write_bench_json,
 )
+from repro.perf.kernels import run_kernel_bench
 
 __all__ = [
     "FAULT_RATE_ENV",
@@ -46,5 +50,6 @@ __all__ = [
     "DEFAULT_FAULT_RATES",
     "run_fault_sweep",
     "run_fingerprint_bench",
+    "run_kernel_bench",
     "write_bench_json",
 ]

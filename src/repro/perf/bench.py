@@ -25,7 +25,13 @@ The JSON schema (consumed by future perf-tracking PRs)::
       },
       "total": {"serial": s, "parallel": s, "speedup": x},
       "parity": {"identical": true, "max_abs_diff": 0.0},
-      "accuracy": {"fpga/current/5.0": {"top1": ..., "top5": ...}, ...}
+      "accuracy": {"fpga/current/5.0": {"top1": ..., "top5": ...}, ...},
+      "kernels": {                   # repro.perf.kernels micro-bench
+        "tree_fit": {"legacy_seconds": s, "vectorized_seconds": s,
+                     "speedup": x, "identical": true,
+                     "max_abs_diff": 0.0},
+        ...
+      }
     }
 
 Speedups are honest wall-clock ratios on the current machine; on a
@@ -77,6 +83,7 @@ def run_fingerprint_bench(
     forest_trees: int = 30,
     seed: int = 0,
     models: Optional[Iterable[str]] = None,
+    kernel_repeats: int = 3,
 ) -> Dict:
     """Run the pipeline serially and in parallel; return the bench dict.
 
@@ -89,9 +96,11 @@ def run_fingerprint_bench(
         traces_per_model / n_folds / forest_trees: protocol scale.
         seed: experiment seed (both runs share it).
         models: explicit victim list, overriding ``n_models``.
+        kernel_repeats: best-of runs for the per-kernel micro-bench.
     """
     from repro.core.fingerprint import DnnFingerprinter, FingerprintConfig
     from repro.dpu.models import list_models
+    from repro.perf.kernels import run_kernel_bench
 
     workers = resolve_workers(workers, default=available_cpus())
     if models is None:
@@ -173,6 +182,7 @@ def run_fingerprint_bench(
         },
         "faults_disabled_overhead": overhead,
         "accuracy": accuracy,
+        "kernels": run_kernel_bench(seed=seed, repeats=kernel_repeats),
     }
 
 

@@ -1,0 +1,307 @@
+"""Per-kernel before/after micro-benchmarks for the PR-6 rework.
+
+Times every kernel the vectorization touched against its frozen legacy
+twin from :mod:`repro.perf.reference`, at the same scale the pipeline
+bench exercises (the Table-III hot cell: 12 models x 10 traces, 140
+features, 30-tree forests).  Each entry reports the legacy and
+vectorized wall times (best of ``repeats`` runs, to shave scheduler
+noise on small containers) plus the bit-parity verdict, because a
+speedup that changes bits is a bug, not an optimization:
+
+* ``tree_fit`` — presorted CART vs. per-node argsort-per-feature;
+* ``forest_fit`` — 30 presorted trees vs. 30 legacy trees grown from
+  the identical bootstrap seeds (the ``evaluate`` stage's hot path);
+* ``forest_predict`` — batched frontier walk vs. tree-by-tree loop;
+* ``resample`` — grouped batch interpolation vs. per-trace
+  ``np.interp``;
+* ``summary`` — one 2-D summary pass vs. a row-by-row loop;
+* ``kfold`` — vectorized stratified folds vs. per-sample appends;
+* ``archive_load`` — memory-mapped chunk reads vs. materializing
+  ``np.load``.
+
+:func:`run_kernel_bench` returns the dict that lands in
+``BENCH_fingerprint.json`` under the ``"kernels"`` key; it is also
+usable standalone for quick before/after checks while hacking on the
+kernels.
+"""
+
+from __future__ import annotations
+
+import tempfile
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Tuple
+
+import numpy as np
+
+from repro.perf.reference import (
+    LegacyDecisionTreeClassifier,
+    legacy_forest_predict_proba,
+    legacy_resample_loop,
+    legacy_stratified_kfold_indices,
+    legacy_summary_features_loop,
+)
+from repro.utils.rng import ensure_rng
+
+#: Scale of the synthetic workload: the bench's hottest CV cell.
+KERNEL_ROWS = 120
+KERNEL_FEATURES = 140
+KERNEL_CLASSES = 12
+KERNEL_TREES = 30
+KERNEL_RESAMPLE_POINTS = 160
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> Tuple[float, object]:
+    """Run ``fn`` ``repeats`` times; return (best seconds, last result)."""
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        begin = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - begin)
+    return best, result
+
+
+def _entry(
+    legacy_seconds: float,
+    vectorized_seconds: float,
+    max_diff: float,
+) -> Dict:
+    return {
+        "legacy_seconds": legacy_seconds,
+        "vectorized_seconds": vectorized_seconds,
+        "speedup": legacy_seconds / vectorized_seconds
+        if vectorized_seconds > 0
+        else 0.0,
+        "identical": max_diff == 0.0,  # repro: ignore[API002]
+        "max_abs_diff": max_diff,
+    }
+
+
+def _classification_problem(seed: int) -> Tuple[np.ndarray, np.ndarray]:
+    """A bench-scale (X, y): 120 rows x 140 features, 12 string labels."""
+    rng = ensure_rng(seed)
+    X = rng.normal(size=(KERNEL_ROWS, KERNEL_FEATURES))
+    labels = np.array([f"model-{i:02d}" for i in range(KERNEL_CLASSES)])
+    y = labels[np.arange(KERNEL_ROWS) % KERNEL_CLASSES]
+    return X, y
+
+
+def _bench_tree_fit(seed: int, repeats: int) -> Dict:
+    from repro.ml.tree import DecisionTreeClassifier
+
+    X, y = _classification_problem(seed)
+
+    def fit_legacy():
+        tree = LegacyDecisionTreeClassifier(max_features="sqrt", seed=seed)
+        return tree.fit(X, y)
+
+    def fit_new():
+        tree = DecisionTreeClassifier(max_features="sqrt", seed=seed)
+        return tree.fit(X, y)
+
+    legacy_seconds, legacy_tree = _best_of(fit_legacy, repeats)
+    new_seconds, new_tree = _best_of(fit_new, repeats)
+    max_diff = float(
+        np.max(
+            np.abs(legacy_tree.predict_proba(X) - new_tree.predict_proba(X))
+        )
+    )
+    if legacy_tree.node_count != new_tree.node_count:
+        max_diff = max(max_diff, float("inf"))
+    if legacy_tree.depth != new_tree.depth:
+        max_diff = max(max_diff, float("inf"))
+    return _entry(legacy_seconds, new_seconds, max_diff)
+
+
+def _legacy_forest_fit(X, y, n_trees: int, seed: int):
+    """30 legacy trees grown exactly as the forest grows its own."""
+    forest_rng = ensure_rng(seed)
+    tree_seeds = forest_rng.integers(
+        0, np.iinfo(np.int64).max, size=n_trees
+    )
+    trees = []
+    n = X.shape[0]
+    for tree_seed in tree_seeds:
+        rng = ensure_rng(int(tree_seed))
+        sample = rng.integers(0, n, size=n)
+        tree = LegacyDecisionTreeClassifier(max_features="sqrt", seed=rng)
+        tree.fit(X[sample], y[sample])
+        trees.append(tree)
+    return trees
+
+
+def _bench_forest_fit(seed: int, repeats: int) -> Dict:
+    from repro.ml.forest import RandomForestClassifier
+
+    X, y = _classification_problem(seed)
+
+    def fit_legacy():
+        return _legacy_forest_fit(X, y, KERNEL_TREES, seed)
+
+    def fit_new():
+        forest = RandomForestClassifier(
+            n_estimators=KERNEL_TREES, seed=seed, n_jobs=1
+        )
+        return forest.fit(X, y)
+
+    legacy_seconds, legacy_trees = _best_of(fit_legacy, repeats)
+    new_seconds, forest = _best_of(fit_new, repeats)
+    max_diff = 0.0
+    for legacy_tree, tree in zip(legacy_trees, forest.trees_):
+        max_diff = max(
+            max_diff,
+            float(
+                np.max(
+                    np.abs(
+                        legacy_tree.predict_proba(X) - tree.predict_proba(X)
+                    )
+                )
+            ),
+        )
+        if legacy_tree.node_count != tree.node_count:
+            max_diff = max(max_diff, float("inf"))
+    return _entry(legacy_seconds, new_seconds, max_diff)
+
+
+def _bench_forest_predict(seed: int, repeats: int) -> Dict:
+    from repro.ml.forest import RandomForestClassifier
+
+    X, y = _classification_problem(seed)
+    forest = RandomForestClassifier(
+        n_estimators=KERNEL_TREES, seed=seed, n_jobs=1
+    ).fit(X, y)
+    eval_rng = ensure_rng(seed + 1)
+    X_eval = eval_rng.normal(size=(KERNEL_ROWS, KERNEL_FEATURES))
+    forest.predict_proba(X_eval)  # warm the padded node arrays
+
+    legacy_seconds, legacy_proba = _best_of(
+        lambda: legacy_forest_predict_proba(forest, X_eval), repeats
+    )
+    new_seconds, new_proba = _best_of(
+        lambda: forest.predict_proba(X_eval), repeats
+    )
+    max_diff = float(np.max(np.abs(legacy_proba - new_proba)))
+    return _entry(legacy_seconds, new_seconds, max_diff)
+
+
+def _resample_workload(seed: int) -> List[np.ndarray]:
+    """Mixed-length traces like a duration sweep produces."""
+    rng = ensure_rng(seed)
+    lengths = [29, 160, 283, 1, 512]
+    return [
+        rng.normal(size=lengths[i % len(lengths)])
+        for i in range(KERNEL_ROWS)
+    ]
+
+
+def _bench_resample(seed: int, repeats: int) -> Dict:
+    from repro.core.features import resample_batch
+
+    values_list = _resample_workload(seed)
+    legacy_seconds, legacy_matrix = _best_of(
+        lambda: legacy_resample_loop(values_list, KERNEL_RESAMPLE_POINTS),
+        repeats,
+    )
+    new_seconds, new_matrix = _best_of(
+        lambda: resample_batch(values_list, KERNEL_RESAMPLE_POINTS), repeats
+    )
+    max_diff = float(np.max(np.abs(legacy_matrix - new_matrix)))
+    return _entry(legacy_seconds, new_seconds, max_diff)
+
+
+def _bench_summary(seed: int, repeats: int) -> Dict:
+    from repro.core.features import summary_features
+
+    rng = ensure_rng(seed)
+    matrix = rng.normal(size=(KERNEL_ROWS, KERNEL_RESAMPLE_POINTS))
+    legacy_seconds, legacy_summary = _best_of(
+        lambda: legacy_summary_features_loop(matrix), repeats
+    )
+    new_seconds, new_summary = _best_of(
+        lambda: summary_features(matrix), repeats
+    )
+    max_diff = float(np.max(np.abs(legacy_summary - new_summary)))
+    return _entry(legacy_seconds, new_seconds, max_diff)
+
+
+def _bench_kfold(seed: int, repeats: int) -> Dict:
+    from repro.ml.validation import stratified_kfold_indices
+
+    _, y = _classification_problem(seed)
+    legacy_seconds, legacy_folds = _best_of(
+        lambda: legacy_stratified_kfold_indices(y, 5, seed=seed), repeats
+    )
+    new_seconds, new_folds = _best_of(
+        lambda: stratified_kfold_indices(y, 5, seed=seed), repeats
+    )
+    max_diff = 0.0
+    if len(legacy_folds) != len(new_folds):
+        max_diff = float("inf")
+    else:
+        for old, new in zip(legacy_folds, new_folds):
+            if not np.array_equal(old, new):
+                max_diff = float("inf")
+    return _entry(legacy_seconds, new_seconds, max_diff)
+
+
+def _bench_archive_load(seed: int, repeats: int) -> Dict:
+    from repro.core.io import TraceArchiveReader, TraceArchiveWriter
+    from repro.core.traces import Trace
+
+    rng = ensure_rng(seed)
+    with tempfile.TemporaryDirectory() as tmp:
+        archive = Path(tmp) / "kernel_bench_archive"
+        with TraceArchiveWriter(archive, meta={"bench": "kernels"}) as writer:
+            for index in range(40):
+                n = 2000
+                writer.append(
+                    Trace(
+                        times=0.5 + np.arange(n) * 1e-3,
+                        values=rng.integers(600, 900, size=n),
+                        domain="fpga",
+                        quantity="current",
+                        label=f"model-{index % KERNEL_CLASSES:02d}",
+                    )
+                )
+
+        legacy_seconds, plain = _best_of(
+            lambda: TraceArchiveReader(archive, mmap=False).load_traceset(),
+            repeats,
+        )
+        new_seconds, mapped = _best_of(
+            lambda: TraceArchiveReader(archive, mmap=True).load_traceset(),
+            repeats,
+        )
+        max_diff = 0.0
+        for old, new in zip(plain, mapped):
+            if not np.array_equal(old.times, new.times) or not np.array_equal(
+                old.values, new.values
+            ):
+                max_diff = float("inf")
+    return _entry(legacy_seconds, new_seconds, max_diff)
+
+
+#: Kernel name -> benchmark function, in report order.
+KERNEL_BENCHES = {
+    "tree_fit": _bench_tree_fit,
+    "forest_fit": _bench_forest_fit,
+    "forest_predict": _bench_forest_predict,
+    "resample": _bench_resample,
+    "summary": _bench_summary,
+    "kfold": _bench_kfold,
+    "archive_load": _bench_archive_load,
+}
+
+
+def run_kernel_bench(seed: int = 0, repeats: int = 3) -> Dict:
+    """Time every reworked kernel against its legacy twin.
+
+    Returns ``{kernel: {legacy_seconds, vectorized_seconds, speedup,
+    identical, max_abs_diff}}`` with times as best-of-``repeats``.
+    ``identical`` must be true for every kernel — the legacy
+    implementations define correctness.
+    """
+    return {
+        name: bench(seed, repeats) for name, bench in KERNEL_BENCHES.items()
+    }

@@ -1,0 +1,23 @@
+"""Fixture: API004 must flag per-iteration argsort patterns."""
+
+import numpy as np
+
+
+def per_node_split_search(X, nodes):
+    orders = []
+    for indices in nodes:
+        # One sort per node: the quadratic pre-vectorization CART.
+        orders.append(np.argsort(X[indices], kind="stable"))
+    return orders
+
+
+def per_row_rank(matrix):
+    return [np.argsort(row) for row in matrix]
+
+
+def method_call_counts_too(columns):
+    ranks = []
+    while columns:
+        column = columns.pop()
+        ranks.append(column.argsort())
+    return ranks

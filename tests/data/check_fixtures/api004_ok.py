@@ -1,0 +1,31 @@
+"""Fixture: API004 must stay quiet on hoisted / batched sorts."""
+
+import numpy as np
+
+
+def presorted_columns(X):
+    # One columnwise presort outside any loop: the sanctioned pattern.
+    presorted = np.argsort(X, axis=0, kind="stable")
+    totals = []
+    for column in range(X.shape[1]):
+        totals.append(X[presorted[:, column], column].sum())
+    return totals
+
+
+def batched_rank(matrix):
+    return np.argsort(matrix, axis=1, kind="stable")
+
+
+def sorted_iteration(values):
+    # argsort in the loop header runs once, not per iteration.
+    total = 0.0
+    for index in np.argsort(values):
+        total += values[index]
+    return [values[i] for i in np.argsort(values)]
+
+
+def suppressed_rescorer(blocks):
+    ranks = []
+    for block in blocks:
+        ranks.append(np.argsort(block))  # repro: ignore[API004]
+    return ranks
