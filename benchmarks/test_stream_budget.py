@@ -1,0 +1,88 @@
+"""Bench smoke: the live monitor must keep up with the sampler.
+
+Runs :func:`repro.perf.bench.run_stream_bench` once at reduced scale
+and holds three lines:
+
+* **parity** — the streamed feature rows must be bit-identical to the
+  batch windowing of the reassembled stream (the refactor's contract);
+* **memory** — the extractor's buffer high-water mark must respect its
+  O(window + chunk) bound, independent of stream length;
+* **latency** — the p95 per-chunk analysis cost must stay a small
+  fraction of the chunk's simulated duration.  The budget is set an
+  order of magnitude above typical 1-CPU container numbers; it exists
+  to catch catastrophic regressions (e.g. a per-window re-sort or an
+  unbounded buffer), not to enforce exact timings.
+
+Run alone with ``pytest benchmarks -m bench_smoke``.
+"""
+
+import pytest
+
+from repro.perf.bench import run_stream_bench
+
+pytestmark = pytest.mark.bench_smoke
+
+#: Simulated seconds of stream per chunk at the smoke scale.
+CHUNK_SECONDS = 0.5
+#: p95 per-chunk wall cost as a fraction of the chunk's simulated
+#: duration.  Typical is ~0.01 on one CPU; 0.5 still proves the
+#: monitor keeps up with the sampler with headroom.
+LATENCY_BUDGET_FRACTION = 0.5
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_stream_bench(
+        n_models=3,
+        traces_per_model=3,
+        n_folds=2,
+        forest_trees=10,
+        duration=1.0,
+        monitor_duration=10.0,
+        window_seconds=2.0,
+        hop_seconds=0.5,
+        chunk_seconds=CHUNK_SECONDS,
+        seed=0,
+    )
+
+
+def test_report_shape(report):
+    assert report["benchmark"] == "fingerprint-stream"
+    assert report["counts"]["chunks"] > 0
+    assert report["counts"]["verdicts"] > 0
+
+
+def test_streamed_features_are_bit_identical(report):
+    parity = report["parity"]
+    assert parity["identical"], (
+        f"streamed features drifted from the batch windowing "
+        f"(max abs diff {parity['max_abs_diff']})"
+    )
+    assert parity["max_abs_diff"] == 0.0
+
+
+def test_memory_stays_o_window(report):
+    memory = report["memory"]
+    assert memory["bounded"], (
+        f"peak resident {memory['peak_resident_samples']} samples "
+        f"exceeds the O(window + chunk) bound "
+        f"{memory['bound_samples']}"
+    )
+
+
+def test_per_chunk_latency_within_budget(report):
+    latency = report["per_chunk_latency"]
+    assert latency["p95_fraction_of_chunk"] <= LATENCY_BUDGET_FRACTION, (
+        f"p95 per-chunk cost is {latency['p95_ms']:.2f} ms — "
+        f"{latency['p95_fraction_of_chunk']:.3f} of the "
+        f"{CHUNK_SECONDS}s chunk budget; the monitor would fall "
+        "behind the sampler"
+    )
+
+
+def test_verdict_lag_is_bounded_by_the_chunk(report):
+    # A verdict can never be staler than the chunk that emitted it:
+    # lag is simulated time between a window's last sample and the
+    # end of its emitting chunk.
+    lag = report["verdict_lag"]
+    assert lag["max_seconds"] <= CHUNK_SECONDS + 1e-9

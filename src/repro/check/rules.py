@@ -34,6 +34,11 @@ API004      no ``argsort`` calls inside loops outside ``repro/ml`` —
             per-iteration sorting is the quadratic pattern the
             presorted kernels replaced (``repro/perf`` keeps the
             frozen legacy copies and is exempt)
+API005      streaming state classes must stay bounded: a ``push*``
+            method growing ``self.<attr>`` in place (``append`` /
+            ``extend`` / ``+=``) needs a matching trim (``pop`` /
+            ``clear`` / ``del`` / slice rebind) somewhere in the
+            class, else memory scales with the stream, not the window
 ==========  ============================================================
 
 Each rule is a pure function ``(Module) -> List[Finding]``; the engine
@@ -832,6 +837,101 @@ def check_api004(module: Module) -> List[Finding]:
     return findings
 
 
+# ------------------------------------------------------------------- API005
+
+#: In-place growth calls on ``self.<attr>`` collections.
+_STREAM_GROW_METHODS = ("append", "extend", "appendleft", "insert")
+#: Trimming calls that bound a buffer.
+_STREAM_TRIM_METHODS = ("pop", "popleft", "popitem", "clear", "remove")
+
+
+def _self_attr(node: ast.AST) -> Optional[str]:
+    """``attr`` for a ``self.attr`` expression, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def check_api005(module: Module) -> List[Finding]:
+    """Unbounded accumulation in a streaming state machine.
+
+    The streaming plane's whole contract is O(window) memory over an
+    unbounded stream; an ``self.<attr>.append`` inside a ``push*``
+    method grows with every chunk unless something trims the buffer.
+    A class is considered bounded for ``<attr>`` when any of its
+    methods trims it in place (``pop``/``popleft``/``clear``/
+    ``remove``/``del self.<attr>[...]``) or rebinds it outside
+    ``__init__`` (the repo's slice-advance idiom,
+    ``self._buf = self._buf[hop:]``).  ``+=`` on a self attribute in a
+    ``push*`` method counts as growth, not a rebind.
+    """
+    findings = []
+    for cls in ast.walk(module.tree):
+        if not isinstance(cls, ast.ClassDef):
+            continue
+        grow_sites: List[Tuple[str, ast.AST]] = []
+        trimmed: Set[str] = set()
+        for method in cls.body:
+            if not isinstance(
+                method, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            in_push = method.name.startswith("push")
+            for node in ast.walk(method):
+                if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute
+                ):
+                    attr = _self_attr(node.func.value)
+                    if attr is not None:
+                        if node.func.attr in _STREAM_TRIM_METHODS:
+                            trimmed.add(attr)
+                        elif (
+                            in_push
+                            and node.func.attr in _STREAM_GROW_METHODS
+                        ):
+                            grow_sites.append((attr, node))
+                elif isinstance(node, ast.AugAssign):
+                    attr = _self_attr(node.target)
+                    if attr is not None and in_push:
+                        grow_sites.append((attr, node))
+                elif isinstance(node, ast.Assign):
+                    if method.name == "__init__":
+                        continue
+                    for target in node.targets:
+                        attr = _self_attr(target)
+                        if attr is not None:
+                            trimmed.add(attr)
+                elif isinstance(node, ast.Delete):
+                    for target in node.targets:
+                        base = (
+                            target.value
+                            if isinstance(target, ast.Subscript)
+                            else target
+                        )
+                        attr = _self_attr(base)
+                        if attr is not None:
+                            trimmed.add(attr)
+        for attr, node in grow_sites:
+            if attr in trimmed:
+                continue
+            findings.append(
+                module.finding(
+                    "API005",
+                    node,
+                    f"self.{attr} grows on every push with no trim "
+                    "anywhere in the class — streaming state must stay "
+                    "O(window), not O(stream); pop/clear/del the old "
+                    "entries or rebind a bounded slice "
+                    "(self._buf = self._buf[hop:])",
+                )
+            )
+    return findings
+
+
 # ----------------------------------------------------------------- registry
 
 RULES: Dict[str, Rule] = {
@@ -913,6 +1013,13 @@ RULES: Dict[str, Rule] = {
             "per-iteration argsort outside repro/ml re-derives order "
             "the presorted/batched kernels compute once",
             check_api004,
+        ),
+        Rule(
+            "API005",
+            "unbounded-stream-state",
+            "push* methods appending to untrimmed self collections "
+            "grow with the stream; streaming state must stay O(window)",
+            check_api005,
         ),
     )
 }

@@ -96,6 +96,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     if args.faults:
         return _cmd_bench_faults(args)
+    if args.stream:
+        return _cmd_bench_stream(args)
     report = run_fingerprint_bench(
         workers=args.workers,
         n_models=args.models,
@@ -146,6 +148,37 @@ def _cmd_bench_faults(args: argparse.Namespace) -> int:
     path = write_bench_json(report, output)
     print(f"fault sweep written to {path}")
     return 0
+
+
+def _cmd_bench_stream(args: argparse.Namespace) -> int:
+    from repro.perf.bench import run_stream_bench, write_bench_json
+
+    report = run_stream_bench(seed=args.seed)
+    latency = report["per_chunk_latency"]
+    print(f"chunks: {report['counts']['chunks']}  "
+          f"verdicts: {report['counts']['verdicts']}  "
+          f"switches: {report['counts']['model_switches']}")
+    print(f"per-chunk latency: p50 {latency['p50_ms']:.2f} ms  "
+          f"p95 {latency['p95_ms']:.2f} ms  "
+          f"({latency['p95_fraction_of_chunk'] * 100:.1f}% of the "
+          f"chunk budget)")
+    lag = report["verdict_lag"]
+    print(f"verdict lag: mean {lag['mean_seconds']:.3f} s  "
+          f"max {lag['max_seconds']:.3f} s")
+    memory = report["memory"]
+    print(f"peak resident samples: {memory['peak_resident_samples']} "
+          f"(bound {memory['bound_samples']}, "
+          f"{'bounded' if memory['bounded'] else 'UNBOUNDED'})")
+    parity = report["parity"]
+    print(f"stream/batch feature parity: "
+          f"{'exact' if parity['identical'] else 'DRIFT'} "
+          f"(max |diff| {parity['max_abs_diff']:.2e})")
+    output = args.output
+    if output == "BENCH_fingerprint.json":
+        output = "BENCH_fingerprint_stream.json"
+    path = write_bench_json(report, output)
+    print(f"stream bench written to {path}")
+    return 0 if parity["identical"] and memory["bounded"] else 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -441,6 +474,166 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_verdict(verdict) -> str:
+    window = verdict.window
+    line = (
+        f"[{window.start_time:7.2f}s-{window.end_time:7.2f}s] "
+        f"{verdict.label} p={verdict.confidence:.2f}"
+    )
+    if verdict.raw_label != verdict.label:
+        line += f" (raw {verdict.raw_label})"
+    if verdict.degraded:
+        quality = window.quality
+        line += (
+            f" [degraded: retries={quality.retries} gaps={quality.gaps} "
+            f"interp={quality.interpolated}]"
+        )
+    return line
+
+
+def _format_event(event) -> Optional[str]:
+    from repro.core.detector import OnsetEvent
+    from repro.core.streaming import Interruption, ModelSwitch
+
+    if isinstance(event, ModelSwitch):
+        previous = event.previous if event.previous is not None else "(idle)"
+        return (
+            f"  >> model switch at t={event.time:.2f}s: "
+            f"{previous} -> {event.label}"
+        )
+    if isinstance(event, Interruption):
+        return (
+            f"  !! stream interrupted after {event.samples_seen} samples: "
+            f"{event.message}"
+        )
+    if isinstance(event, OnsetEvent):
+        if event.kind == "onset":
+            return f"  >> activity onset at t={event.time:.2f}s"
+        if event.kind == "episode":
+            episode = event.episode
+            return (
+                f"  >> episode closed: samples "
+                f"[{episode.start}, {episode.end})"
+            )
+    return None
+
+
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    from repro.core.detector import OnsetDetector
+    from repro.core.fingerprint import FingerprintAnalyzer
+    from repro.core.io import TraceArchiveReader, TraceArchiveWriter
+    from repro.dpu.models import build_model
+    from repro.dpu.runner import DpuRunner
+
+    domain, _, quantity = args.channel.partition("/")
+    if not quantity:
+        print(f"--channel must be domain/quantity, got {args.channel!r}",
+              file=sys.stderr)
+        return 2
+    if args.resume and args.out is None:
+        print("--resume needs --out (the interrupted monitor archive)",
+              file=sys.stderr)
+        return 2
+    archive = TraceArchiveReader(args.train_archive, mmap=True)
+    analyzer, datasets = FingerprintAnalyzer.from_archive(archive)
+    if (domain, quantity) not in datasets:
+        known = ", ".join(
+            f"{d}/{q}" for d, q in sorted(datasets)
+        )
+        print(f"channel {args.channel} not in the training archive "
+              f"(has: {known})", file=sys.stderr)
+        return 2
+    dataset = datasets[(domain, quantity)]
+    print(f"training forest on {len(dataset)} archived "
+          f"{domain}/{quantity} traces...")
+    forest = analyzer.train(dataset)
+
+    session = _record_session(args)
+    poll_hz = session.sampler.default_poll_hz(domain)
+    window = max(1, int(round(args.window * poll_hz)))
+    hop = (
+        window
+        if args.hop is None
+        else max(1, int(round(args.hop * poll_hz)))
+    )
+
+    victims = args.victims if args.victims else [
+        str(name) for name in forest.classes_
+    ]
+    runner = DpuRunner()
+    slot = args.duration / len(victims)
+    print("victim schedule:")
+    for index, name in enumerate(victims):
+        begin = index * slot
+        runner.deploy(
+            session.soc,
+            build_model(name),
+            duration=slot,
+            seed=session.derive(f"victim-{index}"),
+            start=begin,
+            name=f"victim-{index}",
+        )
+        print(f"  {name}: t=[{begin:.2f}s, {begin + slot:.2f}s)")
+
+    sink = None
+    if args.out is not None:
+        sink = TraceArchiveWriter(
+            args.out,
+            meta={
+                "experiment": "monitor",
+                "board": session.board.name,
+                "seed": session.seed,
+                "channel": [domain, quantity],
+                "victims": victims,
+                "train_archive": str(args.train_archive),
+            },
+            resume=args.resume,
+        )
+    verdicts = switches = episodes = 0
+    interrupted = False
+    try:
+        updates = session.monitor(
+            forest,
+            domain,
+            quantity,
+            duration=args.duration,
+            window_samples=window,
+            hop_samples=hop,
+            poll_hz=poll_hz,
+            chunk_duration=args.chunk,
+            n_features=analyzer.config.n_features,
+            top_k=args.top_k,
+            smoothing=args.smoothing,
+            detector=OnsetDetector(),
+            sink=sink,
+            resume=args.resume,
+        )
+        from repro.core.streaming import Interruption, ModelSwitch
+
+        for update in updates:
+            for event in update.events:
+                line = _format_event(event)
+                if line is not None:
+                    print(line)
+                if isinstance(event, ModelSwitch):
+                    switches += 1
+                elif isinstance(event, Interruption):
+                    interrupted = True
+            episodes += len(update.episodes)
+            for verdict in update.verdicts:
+                print(_format_verdict(verdict))
+                verdicts += 1
+    finally:
+        if sink is not None:
+            sink.close()
+    print(f"monitor done: {verdicts} verdicts, {switches} model switches, "
+          f"{episodes} episodes"
+          + (" (stream interrupted)" if interrupted else ""))
+    if sink is not None:
+        print(f"archive written to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests)."""
     parser = argparse.ArgumentParser(
@@ -502,6 +695,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-rates", nargs="*", type=float, default=None,
         help="fault rates to sweep with --faults "
              "(default 0 0.05 0.1 0.2 0.4)",
+    )
+    bench.add_argument(
+        "--stream", action="store_true",
+        help="run the streaming-monitor latency bench instead "
+             "(emits BENCH_fingerprint_stream.json)",
     )
 
     check = sub.add_parser(
@@ -671,6 +869,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     replay.add_argument("--archive", type=str, required=True)
 
+    monitor = sub.add_parser(
+        "monitor",
+        help="record and classify one channel live: per-window top-k "
+             "verdicts while the sampler polls",
+    )
+    monitor.add_argument(
+        "--train-archive", type=str, required=True,
+        help="recorded fingerprint archive to train the forest from",
+    )
+    monitor.add_argument(
+        "--channel", type=str, default="fpga/current",
+        help="domain/quantity channel to monitor",
+    )
+    monitor.add_argument(
+        "--duration", type=float, default=20.0,
+        help="monitoring session length in seconds",
+    )
+    monitor.add_argument(
+        "--window", type=float, default=5.0,
+        help="verdict window in seconds (train-trace length for parity "
+             "with batch classification)",
+    )
+    monitor.add_argument(
+        "--hop", type=float, default=None,
+        help="window stride in seconds (default: tumbling windows)",
+    )
+    monitor.add_argument(
+        "--chunk", type=float, default=1.0,
+        help="stream chunk size in seconds (the latency bound)",
+    )
+    monitor.add_argument(
+        "--top-k", type=int, default=3,
+        help="candidates per verdict",
+    )
+    monitor.add_argument(
+        "--smoothing", type=float, default=1.0,
+        help="EMA weight of the newest window in (0, 1]; 1.0 = raw "
+             "per-window probabilities",
+    )
+    monitor.add_argument(
+        "--victims", nargs="*", default=None,
+        help="victim models served back-to-back during the session "
+             "(default: every class the forest knows)",
+    )
+    monitor.add_argument(
+        "--out", type=str, default=None,
+        help="also persist the monitored stream to this archive",
+    )
+    monitor.add_argument(
+        "--resume", action="store_true",
+        help="continue an interrupted monitor session from --out's "
+             "last checkpoint (byte-identical to an uninterrupted run)",
+    )
+    monitor.add_argument("--seed", type=int, default=0)
+    monitor.add_argument(
+        "--board", type=str, default=None,
+        help="Table I board to monitor on (default ZCU102)",
+    )
+    monitor.add_argument(
+        "--faults", type=float, default=None,
+        help="arm deterministic fault injection at this rate in [0, 1]; "
+             "degraded chunks flag their verdicts",
+    )
+
     return parser
 
 
@@ -686,6 +948,7 @@ _COMMANDS = {
     "record": _cmd_record,
     "analyze": _cmd_analyze,
     "replay": _cmd_replay,
+    "monitor": _cmd_monitor,
 }
 
 

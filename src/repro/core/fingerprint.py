@@ -418,23 +418,64 @@ class FingerprintAnalyzer:
         self, classifier: RandomForestClassifier, trace: Trace
     ) -> str:
         """Online phase: name the architecture behind one new trace."""
-        from repro.core.features import resample_values
+        from repro.core.streaming import window_feature_matrix
 
-        features = resample_values(
-            trace.values, self.config.n_features
-        )[np.newaxis, :]
+        features = window_feature_matrix(
+            [trace.values], self.config.n_features
+        )
         return str(classifier.predict(features)[0])
 
     def classify_topk(
         self, classifier: RandomForestClassifier, trace: Trace, k: int = 5
     ) -> List[str]:
         """Online phase, top-k candidates (Table III's second rows)."""
-        from repro.core.features import resample_values
+        from repro.core.streaming import window_feature_matrix
 
-        features = resample_values(
-            trace.values, self.config.n_features
-        )[np.newaxis, :]
+        features = window_feature_matrix(
+            [trace.values], self.config.n_features
+        )
         return [str(name) for name in classifier.predict_topk(features, k)[0]]
+
+    def classify_stream(
+        self,
+        classifier,
+        chunks: Iterable[Trace],
+        window_samples: int,
+        hop_samples: Optional[int] = None,
+        *,
+        top_k: int = 5,
+        smoothing: float = 1.0,
+        detector=None,
+    ):
+        """Live counterpart of :meth:`classify`: verdicts per window.
+
+        Runs a pretrained classifier (the forest, or any model with
+        ``classes_``/``predict_proba``) over a chunk stream through a
+        :class:`~repro.core.streaming.StreamingAnalyzer`, yielding one
+        :class:`~repro.core.streaming.MonitorUpdate` per chunk plus a
+        final flush.  With ``window_samples`` equal to a full trace
+        length and ``smoothing=1.0``, the top-k labels of each verdict
+        are bit-identical to :meth:`classify_topk` on the assembled
+        trace — the parity the streaming test suite pins.
+        """
+        from repro.core.streaming import (
+            StreamingAnalyzer,
+            WindowSpec,
+            monitor_chunks,
+        )
+
+        analyzer = StreamingAnalyzer(
+            classifier,
+            WindowSpec(
+                window_samples,
+                window_samples if hop_samples is None else hop_samples,
+            ),
+            self.config.n_features,
+            top_k=top_k,
+            smoothing=smoothing,
+            detector=detector,
+        )
+        return monitor_chunks(analyzer, chunks)
 
 
 class DnnFingerprinter:

@@ -137,6 +137,37 @@ class TraceStream:
         """Polls not yet emitted."""
         return self.n_samples - self._emitted
 
+    def skip_samples(self, count: int) -> None:
+        """Advance past ``count`` already-recorded samples without polling.
+
+        The resume path of a monitor session: samples recovered from an
+        archive checkpoint must not be re-polled, but the stream's
+        deterministic state — the jitter generator's position and the
+        monotonic clamp's running maximum — must advance exactly as if
+        they had been, so every subsequent chunk is byte-identical to
+        an uninterrupted session.  Replays the per-chunk time
+        computation (the RNG is consumed in the same chunk-sized draws)
+        and discards the result instead of sampling the SoC.
+        """
+        count = require_int_in_range(
+            count, 0, self.samples_remaining, "count"
+        )
+        remaining = count
+        while remaining > 0:
+            step = min(self.chunk_samples, remaining)
+            index = np.arange(self._emitted, self._emitted + step)
+            times = self.start + index / self.poll_hz
+            if self._rng is not None:
+                times = times + (
+                    self.sampler.poll_jitter
+                    * self._rng.standard_normal(step)
+                )
+                times = np.maximum.accumulate(times)
+                times = np.maximum(times, self._running_max)
+                self._running_max = float(times[-1])
+            self._emitted += step
+            remaining -= step
+
     def __iter__(self) -> Iterator[Trace]:
         return self
 
@@ -218,8 +249,13 @@ class TraceStream:
             raise error
         quality = None
         if faulted:
+            # Keep the retry provenance from the failed resilient read:
+            # a downstream consumer judging verdict trustworthiness
+            # must see that this partial chunk burned its retry budget,
+            # not just that the channel was unhealthy.
             quality = TraceQuality(
-                health=self.sampler.channel_health(self.domain)
+                retries=int(getattr(cause, "retries", 0)),
+                health=self.sampler.channel_health(self.domain),
             )
         self._pending_error = error
         self._emitted += prefix

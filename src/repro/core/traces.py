@@ -233,15 +233,17 @@ class TraceSet:
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Fixed-width feature matrix + label vector for the classifier.
 
-        Each trace is resampled to ``n_features`` points through the
-        batched kernel (see :func:`repro.core.features.resample_batch`);
-        unlabeled traces are rejected since the matrix is a supervised
+        Each trace contributes one whole-trace window to
+        :func:`repro.core.streaming.window_feature_matrix` — the same
+        windowing entry point the incremental streaming extractor
+        uses, so batch and live features share one kernel path.
+        Unlabeled traces are rejected since the matrix is a supervised
         dataset.  With ``duration`` given, every trace is first
         truncated to its opening ``duration`` seconds — equivalent to
         ``self.truncated(duration).to_matrix(n_features)`` but without
         materializing the intermediate trace objects.
         """
-        from repro.core.features import resample_batch
+        from repro.core.streaming import window_feature_matrix
 
         if not self.traces:
             raise ValueError("empty trace set")
@@ -255,7 +257,10 @@ class TraceSet:
                 values = values[trace.truncation_mask(duration)]
             values_list.append(values)
             labels.append(trace.label)
-        return resample_batch(values_list, n_features), np.asarray(labels)
+        return (
+            window_feature_matrix(values_list, n_features),
+            np.asarray(labels),
+        )
 
     def summary(self) -> Dict[str, int]:
         """Trace count per label."""

@@ -1,0 +1,179 @@
+"""Online learning for the streaming analysis plane.
+
+:class:`OnlineSoftmaxClassifier` is the partial-fit counterpart of
+:class:`~repro.ml.linear.LogisticRegressionClassifier`: the same
+softmax decision surface, trained one mini-batch at a time so a live
+monitor can keep adapting while the sampler records.  Updates are
+seed-deterministic — weight initialization draws from the repo's
+seeded RNG policy and every other step is a pure function of the data
+order — so a replayed stream reproduces the exact same model.
+
+Feature standardization is maintained online (Welford running
+mean/variance) because a stream has no training set to take statistics
+from up front; the running statistics are part of the deterministic
+state and evolve identically under any chunking of the same sample
+order.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ml.linear import softmax
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import (
+    require_int_in_range,
+    require_non_negative,
+    require_positive,
+)
+
+__all__ = ["OnlineSoftmaxClassifier"]
+
+
+class OnlineSoftmaxClassifier:
+    """Softmax regression trained by streaming mini-batch SGD.
+
+    Unlike the batch classifiers, the class universe must be declared
+    up front — a stream cannot retroactively grow its weight matrix
+    without invalidating earlier updates.
+
+    Args:
+        classes: every label the stream may carry (deduplicated and
+            sorted, matching ``np.unique`` order of the batch path).
+        n_features: feature-row width (the extractor's ``n_features``).
+        learning_rate: SGD step size per mini-batch.
+        l2: ridge penalty on the weights (not the bias).
+        seed: weight-initialization seed (``None`` normalizes to 0 per
+            the repo seed policy).
+        init_scale: standard deviation of the initial random weights;
+            0 starts from exact zeros.
+    """
+
+    def __init__(
+        self,
+        classes: Sequence,
+        n_features: int,
+        learning_rate: float = 0.1,
+        l2: float = 1e-4,
+        seed: RngLike = None,
+        init_scale: float = 0.01,
+    ):
+        self.classes_ = np.unique(np.asarray(classes))
+        if self.classes_.size < 2:
+            raise ValueError("need at least two classes")
+        n_features = require_int_in_range(
+            n_features, 1, 1_000_000, "n_features"
+        )
+        self.learning_rate = require_positive(learning_rate, "learning_rate")
+        self.l2 = require_non_negative(l2, "l2")
+        init_scale = require_non_negative(init_scale, "init_scale")
+        rng = ensure_rng(seed)
+        k = self.classes_.size
+        if init_scale > 0:
+            self._weights = init_scale * rng.standard_normal((n_features, k))
+        else:
+            self._weights = np.zeros((n_features, k))
+        self._bias = np.zeros(k)
+        # Welford running statistics for online standardization.
+        self._mean = np.zeros(n_features)
+        self._m2 = np.zeros(n_features)
+        self._count = 0
+
+    @property
+    def n_features(self) -> int:
+        """Feature-row width this classifier was built for."""
+        return int(self._weights.shape[0])
+
+    @property
+    def samples_seen(self) -> int:
+        """Samples folded into the model so far."""
+        return self._count
+
+    def _check(self, X: np.ndarray) -> np.ndarray:
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise ValueError(
+                f"X must be 2-D with {self.n_features} features, "
+                f"got shape {X.shape}"
+            )
+        return X
+
+    def _standardize(self, X: np.ndarray) -> np.ndarray:
+        if self._count < 2:
+            return X - self._mean
+        scale = np.sqrt(self._m2 / self._count)
+        return (X - self._mean) / np.where(scale > 0, scale, 1.0)
+
+    def _update_stats(self, X: np.ndarray) -> None:
+        # Chan et al. parallel-Welford merge of the batch moments into
+        # the running moments; batch-size-invariant up to float
+        # rounding, deterministic for a fixed chunking.
+        n = X.shape[0]
+        batch_mean = X.mean(axis=0)
+        batch_m2 = ((X - batch_mean) ** 2).sum(axis=0)
+        if self._count == 0:
+            self._mean = batch_mean
+            self._m2 = batch_m2
+            self._count = n
+            return
+        total = self._count + n
+        delta = batch_mean - self._mean
+        self._mean = self._mean + delta * (n / total)
+        self._m2 = (
+            self._m2 + batch_m2 + delta**2 * (self._count * n / total)
+        )
+        self._count = total
+
+    def partial_fit(
+        self, X: np.ndarray, y: np.ndarray
+    ) -> "OnlineSoftmaxClassifier":
+        """Fold one mini-batch in: update statistics, take one SGD step."""
+        X = self._check(X)
+        y = np.asarray(y)
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must be 1-D with one label per row of X")
+        encoded = np.searchsorted(self.classes_, y)
+        if (
+            np.any(encoded >= self.classes_.size)
+            or np.any(self.classes_[encoded] != y)
+        ):
+            raise ValueError("y contains labels outside the declared classes")
+        self._update_stats(X)
+        Xs = self._standardize(X)
+        n, k = X.shape[0], self.classes_.size
+        one_hot = np.zeros((n, k))
+        one_hot[np.arange(n), encoded] = 1.0
+        proba = softmax(Xs @ self._weights + self._bias)
+        gradient_logits = (proba - one_hot) / n
+        gradient_weights = Xs.T @ gradient_logits + self.l2 * self._weights
+        self._weights = self._weights - self.learning_rate * gradient_weights
+        self._bias = self._bias - self.learning_rate * gradient_logits.sum(
+            axis=0
+        )
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Softmax class probabilities per row, under current weights."""
+        Xs = self._standardize(self._check(X))
+        return softmax(Xs @ self._weights + self._bias)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Most probable class per row."""
+        proba = self.predict_proba(X)
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    def predict_topk(self, X: np.ndarray, k: int) -> np.ndarray:
+        """The k most probable classes per row, best first."""
+        k = require_int_in_range(k, 1, self.classes_.size, "k")
+        proba = self.predict_proba(X)
+        order = np.argsort(-proba, axis=1, kind="stable")[:, :k]
+        return self.classes_[order]
+
+    def __repr__(self) -> str:
+        return (
+            f"OnlineSoftmaxClassifier(classes={self.classes_.size}, "
+            f"features={self.n_features}, lr={self.learning_rate}, "
+            f"l2={self.l2}, seen={self._count})"
+        )

@@ -321,6 +321,201 @@ def run_fault_sweep(
     }
 
 
+def run_stream_bench(
+    n_models: int = 6,
+    traces_per_model: int = 6,
+    n_folds: int = 4,
+    forest_trees: int = 20,
+    duration: float = 2.0,
+    monitor_duration: float = 30.0,
+    window_seconds: float = 2.0,
+    hop_seconds: float = 0.5,
+    chunk_seconds: float = 0.5,
+    seed: int = 0,
+) -> Dict:
+    """Latency/memory profile of the live streaming-analysis pipeline.
+
+    Trains a forest in-process, deploys a victim schedule cycling
+    through the trained models, then drives a
+    :class:`~repro.core.streaming.StreamingAnalyzer` chunk by chunk
+    over a live :class:`~repro.core.sampler.TraceStream`, measuring
+
+    * **per-chunk latency** — wall-clock cost of one ``push_chunk``
+      (features + classify + smooth + detector), reported as
+      p50/p95/max and as a fraction of the chunk's simulated duration
+      (the number that must stay below 1 for the monitor to keep up
+      with the sampler);
+    * **verdict lag** — simulated seconds between a window's last
+      sample and the chunk that emitted its verdict (deterministic,
+      bounded by the chunk size);
+    * **peak resident samples** — the extractor's buffer high-water
+      mark against its O(window + chunk) bound;
+    * **parity** — the streamed feature rows against the batch
+      windowing of the reassembled stream, which must be bit-identical.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.core.detector import OnsetDetector
+    from repro.core.fingerprint import DnnFingerprinter, FingerprintConfig
+    from repro.core.streaming import (
+        StreamingAnalyzer,
+        WindowSpec,
+        batch_window_features,
+    )
+    from repro.dpu.models import build_model, list_models
+    from repro.dpu.runner import DpuRunner
+    from repro.session import AttackSession
+
+    config = FingerprintConfig(
+        duration=duration,
+        traces_per_model=traces_per_model,
+        n_folds=n_folds,
+        forest_trees=forest_trees,
+    )
+    models = list_models()[: max(2, int(n_models))]
+    channel = ("fpga", "current")
+    timer = StageTimer()
+    with timer.stage("train"):
+        fingerprinter = DnnFingerprinter(config=config, seed=seed)
+        datasets = fingerprinter.collect_datasets(
+            models=models, channels=(channel,)
+        )
+        forest = fingerprinter.train(datasets[channel])
+
+    session = AttackSession.create(seed=seed + 1)
+    runner = DpuRunner()
+    slot = monitor_duration / len(models)
+    for index, name in enumerate(models):
+        runner.deploy(
+            session.soc,
+            build_model(name),
+            duration=slot,
+            seed=session.derive(f"victim-{index}"),
+            start=index * slot,
+            name=f"victim-{index}",
+        )
+    poll_hz = session.sampler.default_poll_hz(channel[0])
+    window_samples = max(1, int(round(window_seconds * poll_hz)))
+    hop_samples = max(1, int(round(hop_seconds * poll_hz)))
+    spec = WindowSpec(window_samples, min(hop_samples, window_samples))
+    analyzer = StreamingAnalyzer(
+        forest,
+        spec,
+        config.n_features,
+        top_k=3,
+        detector=OnsetDetector(),
+    )
+    stream = session.sampler.stream(
+        channel[0],
+        channel[1],
+        duration=monitor_duration,
+        poll_hz=poll_hz,
+        chunk_duration=chunk_seconds,
+    )
+    latencies = []
+    lags = []
+    chunks = []
+    feature_rows = []
+    verdicts = switches = 0
+    with timer.stage("monitor"):
+        for chunk in stream:
+            chunks.append(chunk)
+            begin = time.perf_counter()
+            update = analyzer.push_chunk(chunk)
+            latencies.append(time.perf_counter() - begin)
+            verdicts += len(update.verdicts)
+            for verdict in update.verdicts:
+                lags.append(verdict.lag_seconds)
+                feature_rows.append(verdict.window.index)
+            switches += sum(
+                1
+                for event in update.events
+                if type(event).__name__ == "ModelSwitch"
+            )
+        analyzer.finish()
+
+    all_values = np.concatenate([chunk.values for chunk in chunks])
+    batch_features = batch_window_features(
+        all_values, spec, config.n_features
+    )
+    stream_features = np.vstack(
+        [
+            analyzer2_batch.features
+            for analyzer2_batch in _replay_feature_batches(
+                spec, config.n_features, chunks
+            )
+        ]
+    )
+    if batch_features.shape == stream_features.shape:
+        max_diff = float(
+            np.max(np.abs(batch_features - stream_features))
+        ) if batch_features.size else 0.0
+    else:
+        max_diff = float("inf")
+    latencies_ms = np.asarray(latencies) * 1e3
+    chunk_samples = stream.chunk_samples
+    bound = window_samples + chunk_samples
+    peak = analyzer.peak_resident_samples
+    return {
+        "benchmark": "fingerprint-stream",
+        "schema_version": SCHEMA_VERSION,
+        "cpu_count": available_cpus(),
+        "seed": seed,
+        "scale": {
+            "models": len(models),
+            "traces_per_model": traces_per_model,
+            "forest_trees": forest_trees,
+            "train_duration": duration,
+            "monitor_duration": monitor_duration,
+            "window_seconds": window_seconds,
+            "hop_seconds": hop_seconds,
+            "chunk_seconds": chunk_seconds,
+            "poll_hz": poll_hz,
+        },
+        "counts": {
+            "chunks": len(chunks),
+            "verdicts": verdicts,
+            "model_switches": switches,
+        },
+        "per_chunk_latency": {
+            "p50_ms": float(np.percentile(latencies_ms, 50)),
+            "p95_ms": float(np.percentile(latencies_ms, 95)),
+            "max_ms": float(latencies_ms.max()),
+            "mean_ms": float(latencies_ms.mean()),
+            "p95_fraction_of_chunk": float(
+                np.percentile(latencies_ms, 95) / (chunk_seconds * 1e3)
+            ),
+        },
+        "verdict_lag": {
+            "mean_seconds": float(np.mean(lags)) if lags else 0.0,
+            "max_seconds": float(np.max(lags)) if lags else 0.0,
+        },
+        "memory": {
+            "peak_resident_samples": int(peak),
+            "bound_samples": int(bound),
+            "bounded": bool(peak <= bound),
+        },
+        "parity": {
+            "identical": max_diff == 0.0,  # repro: ignore[API002]
+            "max_abs_diff": max_diff,
+        },
+        "stage_seconds": timer.as_dict(),
+    }
+
+
+def _replay_feature_batches(spec, n_features, chunks):
+    """Re-extract the stream's feature batches for the parity check."""
+    from repro.core.streaming import IncrementalFeatureExtractor
+
+    extractor = IncrementalFeatureExtractor(spec, n_features)
+    for chunk in chunks:
+        batch = extractor.push_chunk(chunk)
+        if len(batch):
+            yield batch
+
+
 def write_bench_json(report: Dict, path: str = "BENCH_fingerprint.json") -> str:
     """Write one bench report to disk; returns the path."""
     with open(path, "w") as handle:

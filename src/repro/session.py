@@ -158,6 +158,117 @@ class AttackSession:
             for quantity in quantities
         ]
 
+    def monitor(
+        self,
+        classifier,
+        domain: str = "fpga",
+        quantity: str = "current",
+        *,
+        duration: float,
+        window_samples: int,
+        hop_samples: Optional[int] = None,
+        poll_hz: Optional[float] = None,
+        chunk_samples: Optional[int] = None,
+        chunk_duration: Optional[float] = None,
+        n_features: int = 140,
+        top_k: int = 3,
+        smoothing: float = 1.0,
+        detector=None,
+        baseline: Optional[Tuple[float, float]] = None,
+        start: float = 0.0,
+        label: Optional[str] = None,
+        sink=None,
+        trace_id: str = "monitor",
+        resume: bool = False,
+    ):
+        """Record one channel and classify it live, in a single pass.
+
+        The streaming shape of the attack: a
+        :class:`~repro.core.sampler.TraceStream` polls the channel in
+        bounded chunks, every chunk is (optionally) persisted to
+        ``sink`` with a progress checkpoint, and a
+        :class:`~repro.core.streaming.StreamingAnalyzer` turns it into
+        live :class:`~repro.core.streaming.MonitorUpdate`\\ s — one per
+        chunk plus a final flush.  A stream killed by a dead channel
+        ends with an :class:`~repro.core.streaming.Interruption` event
+        instead of an exception, keeping the verdicts already earned.
+
+        With ``resume=True`` (``sink`` reopened via
+        ``TraceArchiveWriter(..., resume=True)``), chunks the
+        interrupted session already persisted are replayed through the
+        analyzer off disk — rebuilding smoothing/detector state
+        deterministically — and the live stream skips past them, so
+        the completed session's archive and verdicts are byte-identical
+        to an uninterrupted run's.  Replayed chunks do not re-yield
+        their updates; only fresh chunks produce output.
+        """
+        from repro.core.streaming import (
+            StreamingAnalyzer,
+            WindowSpec,
+            monitor_chunks,
+        )
+
+        analyzer = StreamingAnalyzer(
+            classifier,
+            WindowSpec(
+                window_samples,
+                window_samples if hop_samples is None else hop_samples,
+            ),
+            n_features,
+            top_k=top_k,
+            smoothing=smoothing,
+            detector=detector,
+            baseline=baseline,
+        )
+        stream = self.sampler.stream(
+            domain,
+            quantity,
+            start=start,
+            duration=duration,
+            poll_hz=poll_hz,
+            chunk_samples=chunk_samples,
+            chunk_duration=chunk_duration,
+            label=label,
+        )
+        parts_done = 0
+        if resume:
+            if sink is None:
+                raise ValueError("resume=True needs a sink archive writer")
+            from repro.core.io import read_chunk_entry
+
+            sink.drop_entries_after_checkpoint()
+            recovered = sorted(
+                (
+                    entry
+                    for entry in sink.entries
+                    if entry.get("trace_id") == trace_id
+                ),
+                key=lambda entry: entry["part"],
+            )
+            skipped = 0
+            for entry in recovered:
+                chunk = read_chunk_entry(sink.path, entry)
+                analyzer.push_chunk(chunk)
+                skipped += chunk.n_samples
+            parts_done = len(recovered)
+            stream.skip_samples(skipped)
+
+        def _recorded(chunks, part):
+            for chunk in chunks:
+                if sink is not None:
+                    sink.append(chunk, trace_id=trace_id, part=part)
+                    part += 1
+                    sink.checkpoint(
+                        {
+                            "experiment": "monitor",
+                            "trace_id": trace_id,
+                            "parts_done": part,
+                        }
+                    )
+                yield chunk
+
+        return monitor_chunks(analyzer, _recorded(stream, parts_done))
+
     def __repr__(self) -> str:
         return (
             f"AttackSession({self.board.name}, seed={self.seed}, "

@@ -1,0 +1,23 @@
+"""Fixture: API005 must flag unbounded growth in push methods."""
+
+
+class LeakyExtractor:
+    def __init__(self):
+        self._chunks = []
+        self._history = []
+
+    def push_chunk(self, chunk):
+        # Every chunk of the stream is retained forever.
+        self._chunks.append(chunk)
+        return len(self._chunks)
+
+
+class LeakyAccumulator:
+    def __init__(self):
+        self._rows = []
+
+    def push(self, batch):
+        # extend and += both grow without a bound.
+        self._rows.extend(batch)
+        self._rows += [sum(batch)]
+        return self._rows

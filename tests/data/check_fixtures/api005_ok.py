@@ -1,0 +1,44 @@
+"""Fixture: API005 must stay quiet on bounded streaming state."""
+
+
+class SlidingExtractor:
+    def __init__(self, window):
+        self.window = window
+        self._buffer = []
+
+    def push_chunk(self, chunk):
+        self._buffer.extend(chunk)
+        # Slice rebind keeps the buffer O(window): the repo idiom.
+        self._buffer = self._buffer[-self.window:]
+        return list(self._buffer)
+
+
+class PoppingQueue:
+    def __init__(self, depth):
+        self.depth = depth
+        self._pending = []
+
+    def push(self, item):
+        self._pending.append(item)
+        while len(self._pending) > self.depth:
+            self._pending.pop(0)
+        return len(self._pending)
+
+
+class BatchTrainer:
+    def __init__(self):
+        self._scores = []
+
+    def record(self, score):
+        # Growth outside push* methods is not streaming state.
+        self._scores.append(score)
+
+
+class AuditedRecorder:
+    def __init__(self):
+        self._log = []
+
+    def push(self, entry):
+        # A deliberate full-stream log, waived explicitly.
+        self._log.append(entry)  # repro: ignore[API005]
+        return entry
