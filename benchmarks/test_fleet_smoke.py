@@ -1,0 +1,66 @@
+"""Fleet bench smoke: ``BENCH_fleet.json`` at two-board scale.
+
+Asserts the fleet bench emits a well-formed report — throughput,
+latency percentiles, pool-vs-fork head-to-head — and that the
+scheduler run reproduced the serial run's archives and accuracies
+exactly.  Run it alone with ``pytest benchmarks -m fleet``.
+"""
+
+import json
+
+import pytest
+
+from repro.fleet import run_fleet_bench
+from repro.perf.bench import SCHEMA_VERSION, write_bench_json
+from repro.perf.pool import shutdown_pool
+
+pytestmark = [pytest.mark.bench_smoke, pytest.mark.fleet]
+
+
+@pytest.fixture(scope="module")
+def report():
+    result = run_fleet_bench(smoke=True, max_concurrent=3)
+    yield result
+    shutdown_pool()
+
+
+def test_fleet_json_emitted_and_well_formed(report, tmp_path):
+    path = write_bench_json(report, str(tmp_path / "BENCH_fleet.json"))
+    with open(path) as handle:
+        loaded = json.load(handle)
+    assert loaded["benchmark"] == "fleet"
+    assert loaded["schema_version"] == SCHEMA_VERSION
+    assert loaded["jobs"] == len(loaded["boards"]) * 3
+    for side in ("serial", "fleet"):
+        stats = loaded[side]
+        assert stats["ok"]
+        assert stats["traces"] > 0
+        assert stats["traces_per_sec"] > 0.0
+        assert (
+            0.0
+            <= stats["p50_job_latency_s"]
+            <= stats["p95_job_latency_s"]
+            <= stats["max_job_latency_s"]
+        )
+        assert stats["failures"] == []
+    assert loaded["stage_seconds"]["serial"] > 0.0
+    assert loaded["stage_seconds"]["fleet"] > 0.0
+
+
+def test_pool_head_to_head_reuses_warm_workers(report):
+    head = report["head_to_head"]
+    if not head.get("available"):  # pragma: no cover - no fork platform
+        pytest.skip("fork start method unavailable")
+    assert head["identical"]
+    assert head["pool_seconds"] > 0.0
+    assert head["fork_per_call_seconds"] > 0.0
+
+
+def test_fleet_matches_serial_exactly(report):
+    parity = report["parity"]
+    assert parity["identical"], parity
+    assert all(entry["identical"] for entry in parity["archives"])
+    accuracy = parity["accuracy"]
+    assert accuracy is not None and accuracy["identical"]
+    assert report["fleet"]["traces"] == report["serial"]["traces"]
+    assert report["fleet"]["samples"] == report["serial"]["samples"]

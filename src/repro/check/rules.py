@@ -39,6 +39,11 @@ API005      streaming state classes must stay bounded: a ``push*``
             ``extend`` / ``+=``) needs a matching trim (``pop`` /
             ``clear`` / ``del`` / slice rebind) somewhere in the
             class, else memory scales with the stream, not the window
+API006      no bare ``multiprocessing.Pool`` / ``ProcessPoolExecutor``
+            / ``SharedMemory`` outside ``repro/perf`` — ad-hoc pools
+            skip the deterministic task→seed assignment, crash
+            recovery, and segment-lifetime bookkeeping the
+            ``repro.perf`` pool/shm layer provides
 ==========  ============================================================
 
 Each rule is a pure function ``(Module) -> List[Finding]``; the engine
@@ -932,6 +937,61 @@ def check_api005(module: Module) -> List[Finding]:
     return findings
 
 
+# ------------------------------------------------------------------- API006
+
+#: Process-pool / shared-memory constructors the perf layer wraps.
+_RAW_POOL_CALLS = {
+    "multiprocessing.Pool": "repro.perf.parallel_map (or "
+    "repro.perf.pool.get_pool)",
+    "multiprocessing.pool.Pool": "repro.perf.parallel_map (or "
+    "repro.perf.pool.get_pool)",
+    "concurrent.futures.ProcessPoolExecutor": "repro.perf.parallel_map "
+    "(or repro.perf.pool.get_pool)",
+    "concurrent.futures.process.ProcessPoolExecutor": (
+        "repro.perf.parallel_map (or repro.perf.pool.get_pool)"
+    ),
+    "multiprocessing.shared_memory.SharedMemory": (
+        "repro.perf.shm.publish_arrays / SharedArena"
+    ),
+}
+
+#: The one layer allowed to construct pools and segments directly.
+_RAW_POOL_ALLOWED = ("repro/perf/",)
+
+
+def check_api006(module: Module) -> List[Finding]:
+    """Ad-hoc pools/segments bypass the perf layer's guarantees.
+
+    A bare ``multiprocessing.Pool`` or ``ProcessPoolExecutor`` loses
+    the :func:`~repro.perf.parallel_map` contract (submission-order
+    results, deterministic task→seed assignment, nested-worker serial
+    degradation, crash respawn); a bare ``SharedMemory`` segment loses
+    the arena's alignment, resource-tracker, and lifetime bookkeeping.
+    Only ``repro/perf/`` — the layer providing those wrappers — may
+    construct them directly.
+    """
+    if _path_matches(module.rel_path, _RAW_POOL_ALLOWED):
+        return []
+    aliases = _import_map(module.tree)
+    findings = []
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        target = _canonical(node.func, aliases)
+        replacement = _RAW_POOL_CALLS.get(target)
+        if replacement is not None:
+            findings.append(
+                module.finding(
+                    "API006",
+                    node,
+                    f"{target} constructed outside repro/perf bypasses "
+                    f"the pooled execution/shared-memory layer; use "
+                    f"{replacement} instead",
+                )
+            )
+    return findings
+
+
 # ----------------------------------------------------------------- registry
 
 RULES: Dict[str, Rule] = {
@@ -1020,6 +1080,14 @@ RULES: Dict[str, Rule] = {
             "push* methods appending to untrimmed self collections "
             "grow with the stream; streaming state must stay O(window)",
             check_api005,
+        ),
+        Rule(
+            "API006",
+            "raw-process-pool",
+            "bare multiprocessing.Pool/ProcessPoolExecutor/SharedMemory "
+            "outside repro/perf bypasses the pooled execution and "
+            "shared-memory lifetime layer",
+            check_api006,
         ),
     )
 }

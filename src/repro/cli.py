@@ -92,19 +92,28 @@ def _cmd_fingerprint(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.perf.bench import run_fingerprint_bench, write_bench_json
+    from repro.perf.bench import (
+        run_fingerprint_bench,
+        run_repeated,
+        write_bench_json,
+    )
 
+    if args.fleet:
+        return _cmd_bench_fleet(args)
     if args.faults:
         return _cmd_bench_faults(args)
     if args.stream:
         return _cmd_bench_stream(args)
-    report = run_fingerprint_bench(
-        workers=args.workers,
-        n_models=args.models,
-        traces_per_model=args.traces,
-        n_folds=args.folds,
-        forest_trees=args.trees,
-        seed=args.seed,
+    report = run_repeated(
+        lambda: run_fingerprint_bench(
+            workers=args.workers,
+            n_models=args.models,
+            traces_per_model=args.traces,
+            n_folds=args.folds,
+            forest_trees=args.trees,
+            seed=args.seed,
+        ),
+        repeat=args.repeat,
     )
     print(f"{'stage':10s} {'serial (s)':>11s} {'parallel (s)':>13s} "
           f"{'speedup':>8s}")
@@ -128,13 +137,20 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_faults(args: argparse.Namespace) -> int:
-    from repro.perf.bench import run_fault_sweep, write_bench_json
+    from repro.perf.bench import (
+        run_fault_sweep,
+        run_repeated,
+        write_bench_json,
+    )
 
     kwargs = {}
     if args.fault_rates:
         kwargs["rates"] = args.fault_rates
-    report = run_fault_sweep(
-        workers=args.workers, seed=args.seed, **kwargs
+    report = run_repeated(
+        lambda: run_fault_sweep(
+            workers=args.workers, seed=args.seed, **kwargs
+        ),
+        repeat=args.repeat,
     )
     print(f"{'rate':>6s} {'top-1':>7s} {'top-5':>7s} {'retries':>8s} "
           f"{'gaps':>6s} {'dropped':>8s}")
@@ -151,9 +167,15 @@ def _cmd_bench_faults(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench_stream(args: argparse.Namespace) -> int:
-    from repro.perf.bench import run_stream_bench, write_bench_json
+    from repro.perf.bench import (
+        run_repeated,
+        run_stream_bench,
+        write_bench_json,
+    )
 
-    report = run_stream_bench(seed=args.seed)
+    report = run_repeated(
+        lambda: run_stream_bench(seed=args.seed), repeat=args.repeat
+    )
     latency = report["per_chunk_latency"]
     print(f"chunks: {report['counts']['chunks']}  "
           f"verdicts: {report['counts']['verdicts']}  "
@@ -179,6 +201,81 @@ def _cmd_bench_stream(args: argparse.Namespace) -> int:
     path = write_bench_json(report, output)
     print(f"stream bench written to {path}")
     return 0 if parity["identical"] and memory["bounded"] else 1
+
+
+def _cmd_bench_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import run_fleet_bench
+    from repro.perf.bench import run_repeated, write_bench_json
+
+    report = run_repeated(
+        lambda: run_fleet_bench(
+            boards=args.boards or None,
+            smoke=args.smoke,
+            workers=args.workers,
+            max_concurrent=args.max_concurrent,
+            seed=args.seed,
+        ),
+        repeat=args.repeat,
+    )
+    for side in ("serial", "fleet"):
+        stats = report[side]
+        print(f"{side:6s} {stats['total_s']:8.2f} s  "
+              f"{stats['traces_per_sec']:8.1f} traces/s  "
+              f"p50 {stats['p50_job_latency_s'] * 1000:7.1f} ms  "
+              f"p95 {stats['p95_job_latency_s'] * 1000:7.1f} ms")
+    head = report["head_to_head"]
+    if head.get("available"):
+        print(f"pool reuse vs fork-per-call: "
+              f"{head['speedup']:.1f}x over {head['calls']} calls")
+    parity = report["parity"]
+    print(f"boards: {', '.join(report['boards'])}  "
+          f"jobs: {report['jobs']}  "
+          f"archive/accuracy parity: "
+          f"{'exact' if parity['identical'] else 'DRIFT'}")
+    output = args.output
+    if output == "BENCH_fingerprint.json":
+        output = "BENCH_fleet.json"
+    path = write_bench_json(report, output)
+    print(f"fleet bench written to {path}")
+    return 0 if parity["identical"] else 1
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    from repro.fleet import FleetScheduler, build_fleet_jobs
+    from repro.perf.config import pool_enabled
+
+    jobs = build_fleet_jobs(
+        args.out,
+        boards=args.boards or None,
+        kinds=args.kinds or None,
+        seed=args.seed,
+        smoke=args.smoke,
+    )
+    print(f"fleet: {len(jobs)} jobs -> {args.out}")
+    report = FleetScheduler(
+        jobs,
+        max_concurrent=args.max_concurrent,
+        retries=args.retries,
+        use_pool=pool_enabled() and not args.no_pool,
+        workers=args.workers,
+    ).run()
+    for outcome in report.outcomes:
+        if outcome.ok:
+            flags = ""
+            if outcome.result.skipped:
+                flags = "  [sealed, skipped]"
+            elif outcome.result.resumed:
+                flags = "  [resumed]"
+            print(f"  {outcome.job.job_id:30s} "
+                  f"{outcome.result.traces:5d} traces  "
+                  f"{outcome.latency_s:7.2f} s{flags}")
+        else:
+            print(f"  {outcome.job.job_id:30s} FAILED: {outcome.error}")
+    print(f"{report.traces} traces / {report.total_s:.2f} s = "
+          f"{report.traces_per_sec:.1f} traces/s  "
+          f"(p95 job latency {report.latency_percentile(95):.2f} s, "
+          f"{report.respawns} worker respawns)")
+    return 0 if report.ok else 1
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -701,6 +798,75 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the streaming-monitor latency bench instead "
              "(emits BENCH_fingerprint_stream.json)",
     )
+    bench.add_argument(
+        "--fleet", action="store_true",
+        help="run the fleet serial-vs-scheduler bench instead "
+             "(emits BENCH_fleet.json)",
+    )
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="with --fleet: trim the batch to the first two catalog "
+             "boards for a quick pass",
+    )
+    bench.add_argument(
+        "--boards", nargs="*", default=None,
+        help="with --fleet: catalog boards to shard over (default: "
+             "AMPEREBLEED_FLEET_BOARDS env var, else the full catalog)",
+    )
+    bench.add_argument(
+        "--max-concurrent", type=int, default=4,
+        help="with --fleet: recording sessions in flight at once",
+    )
+    bench.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the bench N times and report min/median per stage "
+             "(headline timings become the min)",
+    )
+
+    fleet = sub.add_parser(
+        "fleet",
+        help="shard recording campaigns across the board catalog "
+             "(persistent worker pool + async scheduler)",
+    )
+    fleet.add_argument(
+        "out",
+        help="directory receiving one archive per job",
+    )
+    fleet.add_argument(
+        "--boards", nargs="*", default=None,
+        help="catalog boards to target (default: "
+             "AMPEREBLEED_FLEET_BOARDS env var, else the full catalog)",
+    )
+    fleet.add_argument(
+        "--kinds", nargs="*", default=None,
+        choices=("fingerprint", "rsa", "campaign"),
+        help="campaign kinds to run per board (default: all three)",
+    )
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument(
+        "--workers", type=int, default=None,
+        help="pool worker processes (default: AMPEREBLEED_WORKERS env "
+             "var, else all CPUs; 0 = all CPUs)",
+    )
+    fleet.add_argument(
+        "--max-concurrent", type=int, default=4,
+        help="recording sessions in flight at once",
+    )
+    fleet.add_argument(
+        "--retries", type=int, default=1,
+        help="job-level resume-and-retry attempts after an "
+             "unrecovered worker crash",
+    )
+    fleet.add_argument(
+        "--no-pool", action="store_true",
+        help="run jobs inline instead of on the persistent pool "
+             "(the serial baseline)",
+    )
+    fleet.add_argument(
+        "--smoke", action="store_true",
+        help="trim the default board list to the first two catalog "
+             "boards",
+    )
 
     check = sub.add_parser(
         "check",
@@ -941,6 +1107,7 @@ _COMMANDS = {
     "characterize": _cmd_characterize,
     "fingerprint": _cmd_fingerprint,
     "bench": _cmd_bench,
+    "fleet": _cmd_fleet,
     "check": _cmd_check,
     "rsa": _cmd_rsa,
     "covert": _cmd_covert,

@@ -47,6 +47,36 @@ class ReconReport:
         return "fpga" in self.sensitive_paths
 
 
+def deploy_victim(
+    session,
+    start: float = 2.0,
+    amplitude: float = 3.0,
+    domain: str = "fpga",
+    name: str = "victim",
+):
+    """Attach a deterministic step-on victim workload to a session.
+
+    The canonical stakeout target: a rail that idles until ``start``
+    seconds, then holds ``amplitude`` activity forever.  Pulling this
+    out of the test fixtures makes a campaign self-contained from just
+    ``(board, seed, start, amplitude)`` — exactly what a fleet job
+    pickles — so every board in a sharded run deploys an identical
+    victim and resumed runs reproduce it bit for bit.  Returns the
+    session for chaining.
+    """
+    from repro.soc.workload import PiecewiseActivity
+
+    require_positive(start, "start")
+    session.soc.attach_workload(
+        domain,
+        name,
+        PiecewiseActivity(
+            [0.0, float(start), 1e9], [0.0, float(amplitude)]
+        ),
+    )
+    return session
+
+
 class AttackCampaign:
     """Drives the recon -> stakeout -> attack chain on one SoC."""
 

@@ -24,6 +24,7 @@ accuracies bit-exactly.
 from __future__ import annotations
 
 import threading
+from contextlib import ExitStack
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
@@ -46,8 +47,11 @@ from repro.ml.validation import (
     cross_validate,
     make_fold_jobs,
     score_fold,
+    share_fold_jobs,
 )
-from repro.perf.executor import parallel_map
+from repro.perf.config import resolve_workers
+from repro.perf.executor import in_worker, parallel_map
+from repro.perf.shm import publish_arrays, resolve_array
 from repro.soc.soc import Soc
 from repro.utils.rng import derive_seed
 
@@ -66,9 +70,14 @@ TABLE3_DURATIONS: Tuple[float, ...] = (1.0, 2.0, 3.0, 4.0, 5.0)
 
 
 def _fit_classifier_job(job):
-    """Pool task: fit one channel's classifier on its full dataset."""
-    classifier, X, y = job
-    classifier.fit(X, y)
+    """Pool task: fit one channel's classifier on its full dataset.
+
+    ``X``/``y`` may be arrays or shared-memory descriptors
+    (:func:`repro.perf.shm.publish_arrays` on the fan-out side);
+    either way the fit sees the same values.
+    """
+    classifier, x_ref, y_ref = job
+    classifier.fit(resolve_array(x_ref), resolve_array(y_ref))
     return classifier
 
 
@@ -297,9 +306,21 @@ class FingerprintAnalyzer:
                     ((domain, quantity, duration), len(jobs), len(cell_jobs))
                 )
                 jobs.extend(cell_jobs)
-        scores = parallel_map(
-            score_fold, jobs, workers=self._workers(workers)
+        # Each cell's feature matrix goes into shared memory once and
+        # its ten folds carry descriptors — the grid-wide fan-out no
+        # longer pickles a matrix copy per fold.  Serial runs skip the
+        # publish (descriptors would just resolve locally).
+        fan_out = (
+            resolve_workers(self._workers(workers)) > 1
+            and len(jobs) > 1
+            and not in_worker()
         )
+        with ExitStack() as stack:
+            scores = parallel_map(
+                score_fold,
+                share_fold_jobs(jobs, stack, enabled=fan_out),
+                workers=self._workers(workers),
+            )
         return {
             cell: collect_cv_result(scores[first:first + count])
             for cell, first, count in spans
@@ -405,13 +426,22 @@ class FingerprintAnalyzer:
         per-channel forests are identical at any worker count.
         """
         channels = list(datasets)
-        jobs = []
-        for channel in channels:
-            X, y = self._features(datasets[channel], None)
-            jobs.append((self._forest_factory()(), X, y))
-        fitted = parallel_map(
-            _fit_classifier_job, jobs, workers=self._workers(workers)
+        fan_out = (
+            resolve_workers(self._workers(workers)) > 1
+            and len(channels) > 1
+            and not in_worker()
         )
+        with ExitStack() as stack:
+            jobs = []
+            for channel in channels:
+                X, y = self._features(datasets[channel], None)
+                x_ref, y_ref = stack.enter_context(
+                    publish_arrays([X, y], enabled=fan_out)
+                )
+                jobs.append((self._forest_factory()(), x_ref, y_ref))
+            fitted = parallel_map(
+                _fit_classifier_job, jobs, workers=self._workers(workers)
+            )
         return dict(zip(channels, fitted))
 
     def classify(

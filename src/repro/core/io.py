@@ -38,6 +38,7 @@ import numpy as np
 from numpy.lib import format as npy_format
 
 from repro.core.traces import Trace, TraceQuality, TraceSet
+from repro.perf.shm import MmapSlice, resolve_array
 
 #: Latest archive format version.
 FORMAT_VERSION = 2
@@ -141,16 +142,19 @@ _ZIP_LOCAL_HEADER_SIZE = 30
 _ZIP_LOCAL_MAGIC = b"PK\x03\x04"
 
 
-def _mmap_npz_arrays(
+def npz_member_layout(
     chunk_path: Path, names: Tuple[str, ...]
-) -> Optional[Dict[str, np.ndarray]]:
-    """Read-only memory-mapped views of uncompressed ``.npz`` members.
+) -> Optional[Dict[str, MmapSlice]]:
+    """Locate uncompressed ``.npz`` members as mappable byte ranges.
 
     A ``np.savez`` archive stores each array as a STORED (uncompressed)
     zip member, so the ``.npy`` payload is one contiguous byte range of
     the file: locate it through the member's local header, parse the
-    ``.npy`` header, and hand back an ``np.memmap`` view — no copy, no
-    decompression, pages fault in on first touch.
+    ``.npy`` header, and describe it as a
+    :class:`~repro.perf.shm.MmapSlice` — the descriptor any process
+    (this one or a pool worker on the other side of a fork) can
+    :func:`~repro.perf.shm.resolve_array` into a read-only
+    ``np.memmap`` without touching the zip layer again.
 
     Returns ``None`` whenever zero-copy is impossible (compressed
     members from older archives, unexpected ``.npy`` versions), letting
@@ -202,16 +206,30 @@ def _mmap_npz_arrays(
                     )
                 offsets[name] = (handle.tell(), shape, fortran, dtype)
     return {
-        name: np.memmap(
-            chunk_path,
-            dtype=dtype,
-            mode="r",
+        name: MmapSlice(
+            path=str(chunk_path),
+            dtype=dtype.str,
+            shape=tuple(shape),
             offset=offset,
-            shape=shape,
             order="F" if fortran else "C",
         )
         for name, (offset, shape, fortran, dtype) in offsets.items()
     }
+
+
+def _mmap_npz_arrays(
+    chunk_path: Path, names: Tuple[str, ...]
+) -> Optional[Dict[str, np.ndarray]]:
+    """Read-only memory-mapped views of uncompressed ``.npz`` members.
+
+    The in-process spelling of :func:`npz_member_layout`: resolve each
+    member's :class:`~repro.perf.shm.MmapSlice` right here — no copy,
+    no decompression, pages fault in on first touch.
+    """
+    layout = npz_member_layout(chunk_path, names)
+    if layout is None:
+        return None
+    return {name: resolve_array(piece) for name, piece in layout.items()}
 
 
 def read_chunk_entry(path: Path, entry: dict, mmap: bool = False) -> Trace:
@@ -663,6 +681,32 @@ class TraceArchiveReader:
 
     def _read_chunk(self, entry: dict) -> Trace:
         return read_chunk_entry(self.path, entry, mmap=self.mmap)
+
+    def chunk_descriptors(
+        self, entry: dict
+    ) -> Optional[Dict[str, MmapSlice]]:
+        """Zero-copy descriptors for one entry's times/values arrays.
+
+        Returns ``{"times": MmapSlice, "values": MmapSlice}`` for a
+        STORED chunk — the handles a fleet job or pool worker can
+        :func:`~repro.perf.shm.resolve_array` in its own process, so
+        shipping archive data to a worker costs descriptor bytes
+        instead of array pickles.  ``None`` when the chunk cannot be
+        mapped (compressed legacy chunks); callers fall back to
+        :func:`read_chunk_entry`.
+        """
+        chunk_path = self.path / entry["file"]
+        if not chunk_path.exists():
+            raise ArchiveError(
+                f"truncated trace archive {self.path}: chunk file "
+                f"{entry['file']} is missing"
+            )
+        try:
+            return npz_member_layout(chunk_path, ("times", "values"))
+        except (zipfile.BadZipFile, OSError, ValueError, KeyError) as error:
+            raise ArchiveError(
+                f"corrupted chunk {entry['file']} in {self.path}: {error}"
+            ) from None
 
     def iter_chunks(self) -> Iterator[Trace]:
         """Yield chunks in recorded order, one resident at a time.

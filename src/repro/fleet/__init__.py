@@ -1,0 +1,46 @@
+"""Fleet campaign scheduler: every board in the catalog, one queue.
+
+AmpereBleed's attack loop (record → analyze → verdict) is the shape of
+a multi-tenant cloud-FPGA monitoring service, and ROADMAP item 2 asks
+for exactly that: an orchestrator that shards recording campaigns
+across the whole Table I board catalog and is measured in traces/sec.
+This package is that orchestrator, built on the PR 8 substrate:
+
+* :mod:`repro.fleet.jobs` — :class:`FleetJob`, one shardable unit of
+  attack work (a fingerprint dataset collection, an RSA Hamming-weight
+  sweep, or an end-to-end :class:`~repro.core.campaign.AttackCampaign`)
+  bound to one board, one seed, and one archive directory; and
+  :func:`run_job`, the module-level task the worker pool executes.
+  Jobs are resume-first: a retried job reopens its partial archive via
+  the PR 3 checkpoint path and seals it byte-identical to an
+  uninterrupted run.
+* :mod:`repro.fleet.scheduler` — :class:`FleetScheduler`, an asyncio
+  job queue multiplexing concurrent recording sessions onto the
+  persistent :class:`repro.perf.pool.WorkerPool`; per-job wall-clock
+  latency lands in a :class:`~repro.perf.StageTimer` and worker death
+  surfaces as a bounded resume-and-retry, not a lost campaign.
+* :mod:`repro.fleet.bench` — ``bench --fleet`` / ``BENCH_fleet.json``:
+  traces/sec throughput, p50/p95 job latency, a pool-reuse vs
+  fork-per-call head-to-head, and exact archive/accuracy parity
+  against the serial path.
+
+``AMPEREBLEED_FLEET_BOARDS`` restricts which catalog boards the fleet
+targets; the ``repro fleet`` CLI command drives the scheduler from the
+command line.
+"""
+
+from repro.fleet.bench import build_fleet_jobs, run_fleet_bench
+from repro.fleet.jobs import JOB_KINDS, FleetJob, JobResult, run_job
+from repro.fleet.scheduler import FleetReport, FleetScheduler, JobOutcome
+
+__all__ = [
+    "JOB_KINDS",
+    "FleetJob",
+    "FleetReport",
+    "FleetScheduler",
+    "JobOutcome",
+    "JobResult",
+    "build_fleet_jobs",
+    "run_fleet_bench",
+    "run_job",
+]

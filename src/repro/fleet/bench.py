@@ -1,0 +1,237 @@
+"""``bench --fleet``: throughput, latency, and parity for the fleet.
+
+The fleet's promise is *throughput without drift*: sharding recording
+campaigns across boards and pool workers must change wall-clock time
+and nothing else.  This bench enforces that promise the same way the
+pipeline bench does — run the identical batch twice, once serially
+inline and once through the scheduler + pool, and require
+
+* **archive parity**: every job pair's sealed archive directory hashes
+  identical byte for byte (the PR 3 determinism contract, now at fleet
+  scale);
+* **accuracy parity**: a fingerprint archive from each side, evaluated
+  through :meth:`FingerprintAnalyzer.from_archive`, produces exactly
+  the same Table III accuracies;
+* plus the headline numbers ``BENCH_fleet.json`` publishes:
+  traces/sec, p50/p95 job latency, and the pool-reuse vs fork-per-call
+  head-to-head from :func:`repro.perf.bench.run_pool_head_to_head`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import tempfile
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.boards.catalog import list_boards
+from repro.crypto import PAPER_HAMMING_WEIGHTS
+from repro.fleet.jobs import JOB_KINDS, FleetJob
+from repro.fleet.scheduler import FleetScheduler
+from repro.perf.bench import SCHEMA_VERSION, run_pool_head_to_head
+from repro.perf.config import (
+    available_cpus,
+    fleet_boards_from_env,
+    pool_enabled,
+    resolve_workers,
+)
+
+__all__ = ["build_fleet_jobs", "run_fleet_bench"]
+
+#: Boards the smoke batch targets (first N catalog boards).
+_SMOKE_BOARDS = 2
+
+#: Per-kind experiment parameters sized for a bench run, not a paper
+#: run — small enough that serial + fleet passes finish in seconds,
+#: large enough that every kind records real multi-chunk archives.
+_FINGERPRINT_PARAMS = dict(
+    models=("resnet-50", "vgg-16", "mobilenet-v2-1.0"),
+    channels=(("fpga", "current"), ("ddr", "current")),
+    duration=1.0,
+    traces_per_model=2,
+    n_folds=2,
+    forest_trees=5,
+)
+_RSA_PARAMS = dict(
+    weights=tuple(PAPER_HAMMING_WEIGHTS[:3]),
+    quantity="current",
+    n_samples=2000,
+)
+_CAMPAIGN_PARAMS = dict(
+    victim_start=2.0,
+    trace_duration=2.0,
+    timeout=20.0,
+    chunk_duration=1.0,
+)
+
+_KIND_PARAMS = {
+    "fingerprint": _FINGERPRINT_PARAMS,
+    "rsa": _RSA_PARAMS,
+    "campaign": _CAMPAIGN_PARAMS,
+}
+
+
+def build_fleet_jobs(
+    root,
+    boards: Optional[Sequence[str]] = None,
+    kinds: Optional[Sequence[str]] = None,
+    seed: int = 0,
+    smoke: bool = False,
+) -> List[FleetJob]:
+    """The benchmark batch: every kind of campaign on every board.
+
+    ``boards=None`` honors ``AMPEREBLEED_FLEET_BOARDS`` and falls back
+    to the full Table I catalog; ``smoke=True`` trims that default to
+    the first two catalog boards so a smoke pass stays quick (an
+    explicit ``boards`` list is never trimmed).  Each job's archive
+    lands under ``root`` in a directory named after the job, so one
+    batch built against two different roots yields the job pairs the
+    parity check compares.
+    """
+    if boards is None:
+        boards = fleet_boards_from_env()
+    if boards is None:
+        boards = [spec.name for spec in list_boards()]
+        if smoke:
+            boards = boards[:_SMOKE_BOARDS]
+    if kinds is None:
+        kinds = JOB_KINDS
+    root = Path(root)
+    jobs: List[FleetJob] = []
+    for board in boards:
+        for kind in kinds:
+            params = _KIND_PARAMS[kind]
+            jobs.append(
+                FleetJob.make(
+                    kind,
+                    board,
+                    seed=seed,
+                    out=root / f"{kind}-{board}-{int(seed)}",
+                    **params,
+                )
+            )
+    return jobs
+
+
+def _tree_hash(root: Path) -> str:
+    """One digest over an archive directory, independent of its name."""
+    digest = hashlib.sha256()
+    root = Path(root)
+    for path in sorted(root.rglob("*")):
+        if path.is_file():
+            digest.update(path.relative_to(root).as_posix().encode())
+            digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+def _accuracy_cells(out) -> Dict[str, Dict[str, float]]:
+    """Table III accuracies of one recorded fingerprint archive."""
+    from repro.core.fingerprint import FingerprintAnalyzer
+
+    analyzer, datasets = FingerprintAnalyzer.from_archive(out, workers=1)
+    grid = analyzer.evaluate_table3(
+        datasets, durations=(analyzer.config.duration,), workers=1
+    )
+    return {
+        f"{domain}/{quantity}@{duration:g}s": {
+            "top1": result.top1,
+            "top5": result.top5,
+        }
+        for (domain, quantity, duration), result in grid.items()
+    }
+
+
+def _parity(
+    serial_jobs: Sequence[FleetJob], fleet_jobs: Sequence[FleetJob]
+) -> Dict:
+    """Exact archive + accuracy parity between the two runs."""
+    archives = []
+    identical = True
+    for serial_job, fleet_job in zip(serial_jobs, fleet_jobs):
+        match = _tree_hash(serial_job.out) == _tree_hash(fleet_job.out)
+        identical = identical and match
+        archives.append(
+            {"job_id": serial_job.job_id, "identical": match}
+        )
+    accuracy = None
+    for serial_job, fleet_job in zip(serial_jobs, fleet_jobs):
+        if serial_job.kind != "fingerprint":
+            continue
+        serial_cells = _accuracy_cells(serial_job.out)
+        fleet_cells = _accuracy_cells(fleet_job.out)
+        accuracy = {
+            "job_id": serial_job.job_id,
+            "cells": serial_cells,
+            "identical": serial_cells == fleet_cells,
+        }
+        identical = identical and accuracy["identical"]
+        break
+    return {
+        "identical": identical,
+        "archives": archives,
+        "accuracy": accuracy,
+    }
+
+
+def run_fleet_bench(
+    boards: Optional[Sequence[str]] = None,
+    smoke: bool = True,
+    workers: Optional[int] = None,
+    max_concurrent: int = 4,
+    seed: int = 0,
+    out_dir=None,
+) -> Dict:
+    """Serial-vs-fleet head-to-head over one campaign batch.
+
+    Runs the same batch twice — inline one job at a time (the
+    pre-fleet baseline) and through :class:`FleetScheduler` on the
+    persistent pool — then checks the two archive trees for exact
+    parity.  ``out_dir=None`` records into a temporary directory that
+    is removed afterwards; pass a directory to keep the archives.
+    """
+    cleanup = None
+    if out_dir is None:
+        cleanup = tempfile.TemporaryDirectory(prefix="amperebleed-fleet-")
+        out_dir = cleanup.name
+    try:
+        root = Path(out_dir)
+        serial_jobs = build_fleet_jobs(
+            root / "serial", boards=boards, seed=seed, smoke=smoke
+        )
+        fleet_jobs = build_fleet_jobs(
+            root / "fleet", boards=boards, seed=seed, smoke=smoke
+        )
+        serial_report = FleetScheduler(
+            serial_jobs, max_concurrent=1, use_pool=False
+        ).run()
+        fleet_report = FleetScheduler(
+            fleet_jobs,
+            max_concurrent=max_concurrent,
+            use_pool=pool_enabled(),
+            workers=workers,
+        ).run()
+        parity = _parity(serial_jobs, fleet_jobs)
+        serial_s = serial_report.total_s
+        fleet_s = fleet_report.total_s
+        return {
+            "benchmark": "fleet",
+            "schema_version": SCHEMA_VERSION,
+            "smoke": bool(smoke),
+            "cpu_count": available_cpus(),
+            "workers": resolve_workers(workers, default=available_cpus()),
+            "max_concurrent": int(max_concurrent),
+            "seed": int(seed),
+            "boards": sorted({job.board for job in fleet_jobs}),
+            "jobs": len(fleet_jobs),
+            "serial": serial_report.as_dict(),
+            "fleet": fleet_report.as_dict(),
+            "speedup": serial_s / fleet_s if fleet_s > 0 else 0.0,
+            "head_to_head": run_pool_head_to_head(
+                workers=resolve_workers(workers, default=available_cpus())
+            ),
+            "parity": parity,
+            "stage_seconds": {"serial": serial_s, "fleet": fleet_s},
+        }
+    finally:
+        if cleanup is not None:
+            cleanup.cleanup()

@@ -1,0 +1,243 @@
+"""Async fleet scheduler: many boards, one queue, one worker pool.
+
+:class:`FleetScheduler` multiplexes a batch of :class:`~repro.fleet.
+jobs.FleetJob`\\ s with an :mod:`asyncio` queue: up to
+``max_concurrent`` recording sessions are in flight at once, each
+executed by :func:`~repro.fleet.jobs.run_job` on the persistent
+:class:`~repro.perf.pool.WorkerPool` (or inline with
+``use_pool=False`` — the serial baseline the bench compares against).
+
+Fault story, layered on the existing machinery rather than new code:
+
+* a **worker death** is first absorbed by the pool itself, which
+  respawns the worker and resubmits the task (bounded by its
+  :class:`~repro.faults.RetryPolicy`);
+* if the pool gives up (:class:`~repro.perf.pool.WorkerCrashError`),
+  the scheduler retries the *job* up to ``retries`` times — and
+  because jobs are resume-first, the retry continues the partial
+  archive from its last checkpoint and seals it byte-identical to an
+  uninterrupted run;
+* any other exception is a deterministic job failure and is reported,
+  not retried (re-running it would fail identically).
+
+Per-job latency is wall-clock time from dispatch to result, measured
+with :class:`~repro.perf.StageTimer` (one stage per job id); the
+report folds those into the p50/p95 numbers ``BENCH_fleet.json``
+publishes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.fleet.jobs import FleetJob, JobResult, run_job
+from repro.perf.config import available_cpus, resolve_workers
+from repro.perf.executor import _fork_context
+from repro.perf.pool import WorkerCrashError, get_pool
+from repro.perf.timer import StageTimer
+
+__all__ = ["FleetReport", "FleetScheduler", "JobOutcome"]
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """One job's fate: result or error, plus latency and attempts."""
+
+    job: FleetJob
+    result: Optional[JobResult]
+    error: Optional[str]
+    latency_s: float
+    attempts: int
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and self.result is not None
+
+
+@dataclass(frozen=True)
+class FleetReport:
+    """Aggregated outcome of one fleet run."""
+
+    outcomes: Tuple[JobOutcome, ...]
+    total_s: float
+    respawns: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """Every job completed (possibly after resume-and-retry)."""
+        return all(outcome.ok for outcome in self.outcomes)
+
+    @property
+    def traces(self) -> int:
+        return sum(
+            outcome.result.traces for outcome in self.outcomes if outcome.ok
+        )
+
+    @property
+    def samples(self) -> int:
+        return sum(
+            outcome.result.samples for outcome in self.outcomes if outcome.ok
+        )
+
+    @property
+    def traces_per_sec(self) -> float:
+        return self.traces / self.total_s if self.total_s > 0 else 0.0
+
+    @property
+    def samples_per_sec(self) -> float:
+        return self.samples / self.total_s if self.total_s > 0 else 0.0
+
+    def latency_percentile(self, q: float) -> float:
+        """Wall-clock job latency at percentile ``q`` (0-100)."""
+        latencies = [outcome.latency_s for outcome in self.outcomes]
+        if not latencies:
+            return 0.0
+        return float(np.percentile(np.asarray(latencies), q))
+
+    def as_dict(self) -> Dict:
+        """The JSON shape ``BENCH_fleet.json`` embeds."""
+        return {
+            "jobs": len(self.outcomes),
+            "ok": self.ok,
+            "total_s": self.total_s,
+            "traces": self.traces,
+            "samples": self.samples,
+            "traces_per_sec": self.traces_per_sec,
+            "samples_per_sec": self.samples_per_sec,
+            "p50_job_latency_s": self.latency_percentile(50),
+            "p95_job_latency_s": self.latency_percentile(95),
+            "max_job_latency_s": self.latency_percentile(100),
+            "respawns": self.respawns,
+            "failures": [
+                {"job_id": outcome.job.job_id, "error": outcome.error}
+                for outcome in self.outcomes
+                if not outcome.ok
+            ],
+        }
+
+
+class FleetScheduler:
+    """Shard a batch of fleet jobs across boards and pool workers.
+
+    Args:
+        jobs: the batch; job ids and archive directories must be
+            unique (two jobs writing one archive would corrupt it).
+        max_concurrent: recording sessions in flight at once.
+        retries: job-level re-runs after the pool reports a worker
+            crash it could not absorb; each retry resumes the job's
+            partial archive.
+        use_pool: execute jobs on the shared :class:`WorkerPool`
+            (falls back to inline execution when ``fork`` is
+            unavailable); ``False`` runs every job inline — the
+            serial baseline.
+        workers: pool width (``None`` honors ``AMPEREBLEED_WORKERS``,
+            defaulting to all CPUs).
+    """
+
+    def __init__(
+        self,
+        jobs: Sequence[FleetJob],
+        max_concurrent: int = 4,
+        retries: int = 1,
+        use_pool: bool = True,
+        workers: Optional[int] = None,
+    ):
+        self.jobs = list(jobs)
+        seen_ids = set()
+        seen_outs = set()
+        for job in self.jobs:
+            if job.job_id in seen_ids:
+                raise ValueError(f"duplicate job id {job.job_id!r}")
+            if job.out in seen_outs:
+                raise ValueError(
+                    f"jobs share the archive directory {job.out!r}"
+                )
+            seen_ids.add(job.job_id)
+            seen_outs.add(job.out)
+        if max_concurrent < 1:
+            raise ValueError("max_concurrent must be >= 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.max_concurrent = int(max_concurrent)
+        self.retries = int(retries)
+        self.use_pool = bool(use_pool) and _fork_context() is not None
+        self.workers = resolve_workers(workers, default=available_cpus())
+
+    def _execute(self, job: FleetJob) -> JobResult:
+        """Run one job, blocking — called from executor threads."""
+        if self.use_pool:
+            return get_pool(self.workers).submit(run_job, job).result()
+        return run_job(job)
+
+    async def _drain(self, queue, outcomes, timer) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            try:
+                index, job = queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return
+            attempts = 0
+            error: Optional[str] = None
+            result: Optional[JobResult] = None
+            with timer.stage(job.job_id):
+                while True:
+                    attempts += 1
+                    try:
+                        result = await loop.run_in_executor(
+                            None, self._execute, job
+                        )
+                        error = None
+                        break
+                    except WorkerCrashError as crash:
+                        # The pool already resubmitted up to its retry
+                        # budget; one more job-level attempt resumes
+                        # the partial archive from its checkpoint.
+                        error = f"WorkerCrashError: {crash}"
+                        if attempts > self.retries:
+                            break
+                    except Exception as exc:
+                        error = f"{type(exc).__name__}: {exc}"
+                        break
+            outcomes[index] = JobOutcome(
+                job=job,
+                result=result,
+                error=error,
+                latency_s=timer.elapsed(job.job_id),
+                attempts=attempts,
+            )
+
+    async def _run(self, timer: StageTimer) -> List[JobOutcome]:
+        queue: asyncio.Queue = asyncio.Queue()
+        for index, job in enumerate(self.jobs):
+            queue.put_nowait((index, job))
+        outcomes: List[Optional[JobOutcome]] = [None] * len(self.jobs)
+        drains = min(self.max_concurrent, max(1, len(self.jobs)))
+        await asyncio.gather(
+            *(self._drain(queue, outcomes, timer) for _ in range(drains))
+        )
+        return outcomes
+
+    def run(self) -> FleetReport:
+        """Execute the batch; returns the aggregated report.
+
+        Outcomes come back in job-submission order regardless of
+        completion order, so fleet reports are stable run to run.
+        """
+        timer = StageTimer()
+        respawns_before = 0
+        if self.use_pool:
+            respawns_before = get_pool(self.workers).respawns
+        with timer.stage("fleet"):
+            outcomes = asyncio.run(self._run(timer))
+        respawns = 0
+        if self.use_pool:
+            respawns = get_pool(self.workers).respawns - respawns_before
+        return FleetReport(
+            outcomes=tuple(outcomes),
+            total_s=timer.elapsed("fleet"),
+            respawns=respawns,
+        )

@@ -20,19 +20,12 @@ from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
-import threading
-
 from repro.ml.tree import DecisionTreeClassifier
 from repro.perf.config import resolve_workers
 from repro.perf.executor import in_worker, parallel_map
+from repro.perf.shm import publish_arrays, resolve_array
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require_int_in_range
-
-#: Fit data shared with forked pool workers (set just before fan-out,
-#: inherited copy-on-write, so tree tasks only carry their seed).
-#: Guarded by _FIT_LOCK; the serial path never touches it.
-_FIT_CONTEXT: Optional[Tuple] = None
-_FIT_LOCK = threading.Lock()
 
 
 def _grow_tree(X, encoded, classes, params, tree_seed) -> DecisionTreeClassifier:
@@ -61,10 +54,22 @@ def _grow_tree(X, encoded, classes, params, tree_seed) -> DecisionTreeClassifier
     return tree
 
 
-def _grow_tree_task(tree_seed) -> DecisionTreeClassifier:
-    """Pool-worker entry: fit data arrives via the forked context."""
-    X, encoded, classes, params = _FIT_CONTEXT
-    return _grow_tree(X, encoded, classes, params, tree_seed)
+def _grow_tree_task(task) -> DecisionTreeClassifier:
+    """Pool-worker entry: fit matrices arrive as shm descriptors.
+
+    The task tuple carries :class:`repro.perf.shm.ShmSlice` handles
+    (or the raw arrays on the no-shm fallback) plus this tree's seed;
+    :func:`resolve_array` maps the shared segment read-only, and the
+    bootstrap's fancy indexing copies exactly the rows the tree needs.
+    """
+    x_ref, encoded_ref, classes_ref, params, tree_seed = task
+    return _grow_tree(
+        resolve_array(x_ref),
+        resolve_array(encoded_ref),
+        resolve_array(classes_ref),
+        params,
+        tree_seed,
+    )
 
 
 class RandomForestClassifier:
@@ -119,7 +124,6 @@ class RandomForestClassifier:
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
         """Fit all trees on (bootstrapped) views of the data."""
-        global _FIT_CONTEXT
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y)
         if X.ndim != 2:
@@ -139,17 +143,24 @@ class RandomForestClassifier:
                 for seed in tree_seeds
             ]
         else:
-            with _FIT_LOCK:
-                _FIT_CONTEXT = (X, encoded, self.classes_, params)
-                try:
-                    self.trees_ = parallel_map(
-                        _grow_tree_task,
-                        tree_seeds,
-                        workers=workers,
-                        chunksize=max(1, self.n_estimators // 32),
-                    )
-                finally:
-                    _FIT_CONTEXT = None
+            # The fit matrices are published once in shared memory;
+            # every tree task carries only descriptors plus its seed,
+            # so fanning 100 trees out pickles kilobytes, not copies
+            # of X per chunk.
+            with publish_arrays([X, encoded, self.classes_]) as (
+                x_ref,
+                encoded_ref,
+                classes_ref,
+            ):
+                self.trees_ = parallel_map(
+                    _grow_tree_task,
+                    [
+                        (x_ref, encoded_ref, classes_ref, params, seed)
+                        for seed in tree_seeds
+                    ],
+                    workers=workers,
+                    chunksize=max(1, self.n_estimators // 32),
+                )
         importances = np.zeros(X.shape[1])
         for tree in self.trees_:
             if tree.feature_importances_ is not None:

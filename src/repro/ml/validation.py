@@ -21,6 +21,7 @@ live RNG across folds remain order-dependent and should stick to
 
 from __future__ import annotations
 
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
@@ -28,7 +29,9 @@ import numpy as np
 
 from repro.ml.forest import RandomForestClassifier
 from repro.ml.metrics import accuracy, top_k_accuracy
-from repro.perf.executor import parallel_map
+from repro.perf.config import resolve_workers
+from repro.perf.executor import in_worker, parallel_map
+from repro.perf.shm import publish_arrays, resolve_array
 from repro.utils.rng import RngLike, derive_seed, spawn
 from repro.utils.validation import require_int_in_range
 
@@ -135,15 +138,45 @@ def make_fold_jobs(
     return jobs
 
 
+def share_fold_jobs(
+    jobs: Sequence[FoldJob], stack: ExitStack, enabled: bool = True
+) -> List[FoldJob]:
+    """Swap each job's (X, y) for shared-memory descriptors.
+
+    Folds of one CV run (and all cells of the Table III grid) reuse
+    the same matrices, so each distinct (X, y) pair is published into
+    shared memory exactly once — the fan-out then pickles descriptors
+    and fold indices instead of a full matrix copy per fold.  The
+    caller's ``stack`` owns the segments; unwind it only after the
+    fan-out returns.  On platforms without shared memory this is the
+    identity (``publish_arrays`` yields the arrays themselves).
+    """
+    cache = {}
+    shared: List[FoldJob] = []
+    for classifier, X, y, train, test in jobs:
+        key = (id(X), id(y))
+        if key not in cache:
+            cache[key] = stack.enter_context(
+                publish_arrays([X, y], enabled=enabled)
+            )
+        x_ref, y_ref = cache[key]
+        shared.append((classifier, x_ref, y_ref, train, test))
+    return shared
+
+
 def score_fold(job: FoldJob) -> Tuple[float, float]:
     """Fit one fold's classifier and return its (top-1, top-5) scores.
 
     One ``predict_proba`` pass serves both scores — ``predict`` and
     ``predict_topk`` are thin argmax/argsort views over the same
     probability matrix, so running the forest twice per fold was pure
-    waste.
+    waste.  ``X``/``y`` may arrive as arrays or as shared-memory
+    descriptors (see :func:`share_fold_jobs`); the train/test fancy
+    indexing copies out exactly the rows this fold touches either way.
     """
-    classifier, X, y, train, test = job
+    classifier, x_ref, y_ref, train, test = job
+    X = resolve_array(x_ref)
+    y = resolve_array(y_ref)
     classifier.fit(X[train], y[train])
     proba = classifier.predict_proba(X[test])
     top1 = accuracy(
@@ -186,6 +219,12 @@ def cross_validate(
         X, y, n_folds=n_folds, classifier_factory=classifier_factory,
         seed=seed,
     )
+    if resolve_workers(workers) > 1 and len(jobs) > 1 and not in_worker():
+        with ExitStack() as stack:
+            shared = share_fold_jobs(jobs, stack)
+            return collect_cv_result(
+                parallel_map(score_fold, shared, workers=workers)
+            )
     return collect_cv_result(parallel_map(score_fold, jobs, workers=workers))
 
 

@@ -18,14 +18,26 @@ this package holds the shared machinery:
   speedup, serial-vs-parallel accuracy parity);
 * :mod:`repro.perf.kernels` — per-kernel before/after micro-bench
   pinning each vectorized kernel against its frozen legacy twin in
-  :mod:`repro.perf.reference` (timings plus bit-parity verdicts).
+  :mod:`repro.perf.reference` (timings plus bit-parity verdicts);
+* :mod:`repro.perf.pool` — the persistent :class:`WorkerPool` behind
+  :func:`parallel_map`: long-lived fork workers with warm imports
+  that survive across calls, respawn on death, and keep the
+  deterministic task→seed assignment;
+* :mod:`repro.perf.shm` — the zero-copy data plane: fit matrices and
+  trace batches travel to workers as shared-memory / memmap
+  descriptors (:class:`ShmSlice` / :class:`MmapSlice`) instead of
+  pickled array copies.
 """
 
 from repro.perf.config import (
     FAULT_RATE_ENV,
+    FLEET_BOARDS_ENV,
+    POOL_ENV,
     WORKERS_ENV,
     available_cpus,
     fault_rate_from_env,
+    fleet_boards_from_env,
+    pool_enabled,
     resolve_workers,
 )
 from repro.perf.executor import in_worker, parallel_map
@@ -34,15 +46,35 @@ from repro.perf.bench import (
     DEFAULT_FAULT_RATES,
     run_fault_sweep,
     run_fingerprint_bench,
+    run_pool_head_to_head,
+    run_repeated,
     write_bench_json,
 )
 from repro.perf.kernels import run_kernel_bench
+from repro.perf.pool import (
+    WorkerCrashError,
+    WorkerPool,
+    get_pool,
+    shutdown_pool,
+)
+from repro.perf.shm import (
+    MmapSlice,
+    SharedArena,
+    ShmSlice,
+    publish_arrays,
+    release_attachments,
+    resolve_array,
+)
 
 __all__ = [
     "FAULT_RATE_ENV",
+    "FLEET_BOARDS_ENV",
+    "POOL_ENV",
     "WORKERS_ENV",
     "available_cpus",
     "fault_rate_from_env",
+    "fleet_boards_from_env",
+    "pool_enabled",
     "resolve_workers",
     "in_worker",
     "parallel_map",
@@ -50,6 +82,18 @@ __all__ = [
     "DEFAULT_FAULT_RATES",
     "run_fault_sweep",
     "run_fingerprint_bench",
+    "run_pool_head_to_head",
+    "run_repeated",
     "run_kernel_bench",
     "write_bench_json",
+    "WorkerCrashError",
+    "WorkerPool",
+    "get_pool",
+    "shutdown_pool",
+    "MmapSlice",
+    "SharedArena",
+    "ShmSlice",
+    "publish_arrays",
+    "release_attachments",
+    "resolve_array",
 ]

@@ -43,7 +43,8 @@ normalize).
 from __future__ import annotations
 
 import json
-from typing import Dict, Iterable, Optional, Sequence, Tuple
+import statistics
+from typing import Callable, Dict, Iterable, Optional, Sequence, Tuple
 
 from repro.perf.config import available_cpus, resolve_workers
 from repro.perf.timer import StageTimer
@@ -54,6 +55,165 @@ SCHEMA_VERSION = 1
 #: Default bench scale: a reduced-but-faithful Table III protocol.
 DEFAULT_MODELS = 12
 DEFAULT_DURATIONS = (1.0, 5.0)
+
+
+def _stage_seconds(report: Dict) -> Dict[str, float]:
+    """Flatten one bench report's wall-clock stage timings.
+
+    Understands the two timing shapes the benches emit — the
+    ``stages``/``total`` serial-vs-parallel cells of the pipeline
+    bench, and the flat ``stage_seconds`` dict of the stream/fleet
+    benches — and keys each timing ``stage.mode`` / ``stage``.
+    """
+    out: Dict[str, float] = {}
+    stages = report.get("stages")
+    if isinstance(stages, dict):
+        for name, cell in stages.items():
+            if isinstance(cell, dict):
+                for mode in ("serial", "parallel"):
+                    if mode in cell:
+                        out[f"{name}.{mode}"] = float(cell[mode])
+    total = report.get("total")
+    if isinstance(total, dict):
+        for mode in ("serial", "parallel"):
+            if mode in total:
+                out[f"total.{mode}"] = float(total[mode])
+    flat = report.get("stage_seconds")
+    if isinstance(flat, dict):
+        for name, value in flat.items():
+            if isinstance(value, (int, float)):
+                out[str(name)] = float(value)
+    return out
+
+
+def run_repeated(run: Callable[[], Dict], repeat: int = 1) -> Dict:
+    """Run a bench ``repeat`` times; report min/median per stage.
+
+    Single-shot timings made earlier bench numbers look like noise
+    (a 0.93x "regression" can be one scheduler hiccup); repeating the
+    whole bench and taking the **min** per stage is the standard
+    noise floor, with the **median** alongside as the honest typical
+    cost.  The returned report is the first run's (results are
+    deterministic, so any run's accuracies/parity are THE numbers)
+    with three additions:
+
+    * ``repeat`` — how many runs were folded in;
+    * ``stage_stats`` — ``{stage: {min_s, median_s}}`` over all runs;
+    * the headline ``stages``/``total`` serial/parallel seconds (when
+      present) are replaced by their min over runs, and speedups
+      recomputed from those mins.
+    """
+    repeat = max(1, int(repeat))
+    reports = [run() for _ in range(repeat)]
+    report = reports[0]
+    samples: Dict[str, list] = {}
+    for current in reports:
+        for stage, seconds in _stage_seconds(current).items():
+            samples.setdefault(stage, []).append(seconds)
+    report["repeat"] = repeat
+    report["stage_stats"] = {
+        stage: {
+            "min_s": min(values),
+            "median_s": statistics.median(values),
+        }
+        for stage, values in samples.items()
+    }
+
+    def _fold(cell: Dict, prefix: str) -> None:
+        for mode in ("serial", "parallel"):
+            key = f"{prefix}.{mode}"
+            if mode in cell and key in samples:
+                cell[mode] = min(samples[key])
+        if "serial" in cell and "parallel" in cell and "speedup" in cell:
+            cell["speedup"] = (
+                cell["serial"] / cell["parallel"]
+                if cell["parallel"] > 0
+                else 0.0
+            )
+
+    if isinstance(report.get("stages"), dict):
+        for name, cell in report["stages"].items():
+            if isinstance(cell, dict):
+                _fold(cell, name)
+    if isinstance(report.get("total"), dict):
+        _fold(report["total"], "total")
+    if isinstance(report.get("stage_seconds"), dict):
+        for name in report["stage_seconds"]:
+            if name in samples:
+                report["stage_seconds"][name] = min(samples[name])
+    return report
+
+
+def _pool_probe_task(x: int) -> int:
+    """A tiny deterministic task for the pool-vs-fork head-to-head."""
+    total = 0
+    for step in range(200):
+        total += (x * step) % 7
+    return total
+
+
+def run_pool_head_to_head(
+    calls: int = 8,
+    items: int = 16,
+    workers: int = 2,
+    chunksize: int = 2,
+) -> Dict:
+    """Pool-reuse vs fork-per-call on identical repeated fan-outs.
+
+    Times ``calls`` small ``map`` fan-outs twice: once on the warm
+    persistent :class:`~repro.perf.pool.WorkerPool` and once forking a
+    fresh ``ProcessPoolExecutor`` per call (the pre-PR 8 engine).  The
+    per-call cost difference is pure pool start-up plus cold-import
+    overhead — the tax every small parallel stage used to pay.
+    """
+    import time
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.perf.executor import _fork_context, _mark_worker
+    from repro.perf.pool import get_pool
+
+    context = _fork_context()
+    item_list = list(range(int(items)))
+    expected = [_pool_probe_task(x) for x in item_list]
+    if context is None:  # pragma: no cover - no fork on this platform
+        return {
+            "available": False,
+            "calls": calls,
+            "items": items,
+            "workers": workers,
+        }
+    pool = get_pool(workers)
+    pool.map(_pool_probe_task, item_list, chunksize=chunksize)  # warm-up
+    identical = True
+    begin = time.perf_counter()
+    for _ in range(int(calls)):
+        got = pool.map(_pool_probe_task, item_list, chunksize=chunksize)
+        identical = identical and got == expected
+    pool_s = time.perf_counter() - begin
+    begin = time.perf_counter()
+    for _ in range(int(calls)):
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=context,
+            initializer=_mark_worker,
+        ) as executor:
+            got = list(
+                executor.map(
+                    _pool_probe_task, item_list, chunksize=chunksize
+                )
+            )
+        identical = identical and got == expected
+    fork_s = time.perf_counter() - begin
+    return {
+        "available": True,
+        "calls": int(calls),
+        "items": int(items),
+        "workers": int(workers),
+        "pool_seconds": pool_s,
+        "fork_per_call_seconds": fork_s,
+        "speedup": fork_s / pool_s if pool_s > 0 else 0.0,
+        "identical": identical,
+    }
 
 
 def _channel_key(channel: Tuple[str, str, float]) -> str:
@@ -268,24 +428,26 @@ def run_fault_sweep(
         ("ddr", "current"),
         ("fpga", "current"),
     )
+    timer = StageTimer()
     points = []
     for rate in rates:
-        session = AttackSession.create(seed=seed, faults=float(rate))
-        fingerprinter = DnnFingerprinter(
-            session=session, config=config, workers=workers
-        )
-        datasets = fingerprinter.collect_datasets(
-            models=models, channels=channels, on_dead="drop"
-        )
-        retries = gaps = interpolated = 0
-        for dataset in datasets.values():
-            for trace in dataset:
-                if trace.quality is not None:
-                    retries += trace.quality.retries
-                    gaps += trace.quality.gaps
-                    interpolated += trace.quality.interpolated
-        fused = fingerprinter.evaluate_fused_degraded(datasets)
-        result = fused["result"]
+        with timer.stage(f"rate-{float(rate):g}"):
+            session = AttackSession.create(seed=seed, faults=float(rate))
+            fingerprinter = DnnFingerprinter(
+                session=session, config=config, workers=workers
+            )
+            datasets = fingerprinter.collect_datasets(
+                models=models, channels=channels, on_dead="drop"
+            )
+            retries = gaps = interpolated = 0
+            for dataset in datasets.values():
+                for trace in dataset:
+                    if trace.quality is not None:
+                        retries += trace.quality.retries
+                        gaps += trace.quality.gaps
+                        interpolated += trace.quality.interpolated
+            fused = fingerprinter.evaluate_fused_degraded(datasets)
+            result = fused["result"]
         points.append(
             {
                 "rate": float(rate),
@@ -318,6 +480,7 @@ def run_fault_sweep(
             "channels": len(channels),
         },
         "rates": points,
+        "stage_seconds": timer.as_dict(),
     }
 
 

@@ -20,6 +20,15 @@ them):
   rate in [0, 1] that arms :meth:`repro.faults.FaultPlan.at_rate` on
   every session built without an explicit ``faults=`` argument (unset
   or ``0`` means no fault injection).
+* ``AMPEREBLEED_POOL`` — via :func:`pool_enabled`.  On by default;
+  ``0``/``false``/``off`` routes :func:`repro.perf.parallel_map` back
+  to the legacy fork-per-call ``ProcessPoolExecutor`` instead of the
+  persistent :class:`repro.perf.pool.WorkerPool` (an escape hatch and
+  the bench's head-to-head baseline).
+* ``AMPEREBLEED_FLEET_BOARDS`` — via :func:`fleet_boards_from_env`.
+  Comma-separated board names restricting which catalog boards the
+  fleet scheduler and ``bench --fleet`` shard across (unset means the
+  whole catalog).
 """
 
 from __future__ import annotations
@@ -35,6 +44,12 @@ FULL_ENV = "AMPEREBLEED_FULL"
 
 #: Environment variable arming a default fault-injection rate.
 FAULT_RATE_ENV = "AMPEREBLEED_FAULT_RATE"
+
+#: Environment variable disabling the persistent worker pool.
+POOL_ENV = "AMPEREBLEED_POOL"
+
+#: Environment variable restricting which boards the fleet targets.
+FLEET_BOARDS_ENV = "AMPEREBLEED_FLEET_BOARDS"
 
 #: Hard cap: more workers than this is always a configuration mistake.
 MAX_WORKERS = 256
@@ -72,6 +87,33 @@ def fault_rate_from_env() -> float:
             f"{FAULT_RATE_ENV} must be in [0, 1], got {rate}"
         )
     return rate
+
+
+def pool_enabled() -> bool:
+    """True unless ``AMPEREBLEED_POOL`` opts out of the persistent pool.
+
+    Any of ``0``/``false``/``no``/``off`` (case-insensitive) disables
+    the pool, restoring the fork-per-call executor — results are
+    identical either way; only the fan-out cost differs.
+    """
+    return os.environ.get(POOL_ENV, "").strip().lower() not in (
+        "0", "false", "no", "off"
+    )
+
+
+def fleet_boards_from_env() -> Optional[list]:
+    """Board names ``AMPEREBLEED_FLEET_BOARDS`` selects (None = all).
+
+    The value is a comma-separated list of catalog names; whitespace
+    around entries is ignored and empty entries dropped.  Validation
+    against the catalog happens at fleet-build time, where the error
+    can name the available boards.
+    """
+    env = os.environ.get(FLEET_BOARDS_ENV, "").strip()
+    if not env:
+        return None
+    names = [part.strip() for part in env.split(",") if part.strip()]
+    return names or None
 
 
 def available_cpus() -> int:

@@ -18,6 +18,12 @@ stage uses.  Its contract:
 
 Tasks and results must be picklable; the task callable must be a
 module-level function (the usual :mod:`concurrent.futures` rules).
+
+Fan-out rides the persistent :class:`repro.perf.pool.WorkerPool` by
+default — workers forked once and reused across calls, so repeated
+small stages stop paying pool start-up.  ``AMPEREBLEED_POOL=0``
+restores the legacy fork-per-call ``ProcessPoolExecutor``; both
+engines honor the exact contract above, so results are identical.
 """
 
 from __future__ import annotations
@@ -26,7 +32,7 @@ import multiprocessing
 from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence, TypeVar
 
-from repro.perf.config import resolve_workers
+from repro.perf.config import pool_enabled, resolve_workers
 
 _T = TypeVar("_T")
 _R = TypeVar("_R")
@@ -80,6 +86,10 @@ def parallel_map(
     if context is None:
         return [fn(item) for item in items]
     workers = min(workers, len(items))
+    if pool_enabled():
+        from repro.perf.pool import get_pool
+
+        return get_pool(workers).map(fn, items, chunksize=chunksize)
     with ProcessPoolExecutor(
         max_workers=workers,
         mp_context=context,

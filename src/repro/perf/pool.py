@@ -1,0 +1,377 @@
+"""Persistent, crash-tolerant fork worker pool.
+
+PR 1's :func:`repro.perf.parallel_map` forked a fresh
+``ProcessPoolExecutor`` per call: every fan-out paid pool start-up,
+interpreter warm-up, and full-array pickling — enough that
+``BENCH_fingerprint.json`` recorded parallel *slowdowns* on small
+stages.  :class:`WorkerPool` replaces that with workers forked **once**
+(warm imports inherited from the parent) and reused across every stage
+of a run, fed through per-worker task queues:
+
+* **Deterministic dispatch.**  Tasks are assigned round-robin in
+  submission order and results reassembled by task id, so
+  :meth:`map` returns ``[fn(x) for x in items]`` in order — the exact
+  :func:`parallel_map` contract — at any worker count.  Task payloads
+  are pickled *before* queueing (plain bytes ride the queue feeder
+  thread), and each worker pickles its result before releasing its
+  shared-memory attachments, so zero-copy views never outlive their
+  segment.
+* **Exact crash ownership.**  Each worker owns a dedicated task
+  queue, so when a worker dies mid-task the pool knows precisely
+  which submissions are lost: it respawns the worker with a fresh
+  queue and resubmits those payloads in their original order.
+  Resubmission is bounded by a :class:`repro.faults.RetryPolicy`
+  (``max_retries`` re-runs per task, same machinery the resilient
+  sampler uses for flaky sensor reads); a task that keeps killing its
+  worker fails its future with :class:`WorkerCrashError` instead of
+  wedging the pool.
+* **Concurrent submitters.**  :meth:`submit` is thread-safe and a
+  daemon collector thread resolves futures as results arrive, so the
+  fleet scheduler can feed jobs from many asyncio executor threads
+  while a forest fit maps tree batches through the same pool.
+
+Workers run with the :func:`repro.perf.executor.in_worker` flag set,
+so nested parallel stages inside a task degrade to serial loops
+exactly as before.  The module-level :func:`get_pool` singleton is the
+way in; ``AMPEREBLEED_POOL=0`` (see :func:`repro.perf.config.
+pool_enabled`) switches :func:`parallel_map` back to fork-per-call.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import threading
+from queue import Empty
+from typing import Callable, Dict, List, Optional, Sequence, TypeVar
+
+from repro.faults.policy import RetryPolicy
+from repro.perf.executor import _fork_context, _mark_worker
+from repro.perf.shm import release_attachments
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+__all__ = [
+    "PoolFuture",
+    "WorkerCrashError",
+    "WorkerPool",
+    "get_pool",
+    "shutdown_pool",
+]
+
+#: How long the collector blocks on the result queue before sweeping
+#: worker liveness (seconds); a dead worker is detected within this.
+_SWEEP_INTERVAL_S = 0.2
+
+#: Sent on a task queue to make the worker exit its loop.
+_SHUTDOWN = None
+
+
+class WorkerCrashError(RuntimeError):
+    """A task's worker died more times than the retry policy allows."""
+
+
+def _run_chunk(task):
+    """Run one map chunk: ``(fn, [items])`` → ``[fn(item), ...]``."""
+    fn, chunk = task
+    return [fn(item) for item in chunk]
+
+
+def _worker_main(worker_id: int, task_queue, result_queue) -> None:
+    """Worker loop: pull ``(tid, payload)``, run, push ``(tid, body)``.
+
+    The result body is pickled before shared-memory attachments are
+    released, so results that read zero-copy views are materialized
+    while the mapping is still valid.
+    """
+    _mark_worker()
+    while True:
+        message = task_queue.get()
+        if message is _SHUTDOWN:
+            break
+        tid, payload = message
+        try:
+            fn, item = pickle.loads(payload)
+            result = fn(item)
+            body = pickle.dumps(
+                (True, result), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception as exc:
+            try:
+                body = pickle.dumps(
+                    (False, exc), protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except Exception:
+                body = pickle.dumps(
+                    (False, RuntimeError(repr(exc))),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+        release_attachments()
+        result_queue.put((tid, body))
+
+
+class PoolFuture:
+    """Result handle for one submitted task."""
+
+    def __init__(self, tid: int):
+        self.tid = tid
+        self._event = threading.Event()
+        self._value = None
+        self._error: Optional[BaseException] = None
+
+    def _resolve(self, ok: bool, value) -> None:
+        if ok:
+            self._value = value
+        else:
+            self._error = value
+        self._event.set()
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None):
+        """Block for the task result; re-raise the task's exception."""
+        if not self._event.wait(timeout):
+            raise TimeoutError(f"task {self.tid} still pending")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+
+class _Worker:
+    """One pool process plus its dedicated task queue."""
+
+    def __init__(self, context, worker_id: int, result_queue):
+        self.id = worker_id
+        self.queue = context.Queue()
+        self.process = context.Process(
+            target=_worker_main,
+            args=(worker_id, self.queue, result_queue),
+            daemon=True,
+            name=f"amperebleed-pool-{worker_id}",
+        )
+        self.process.start()
+
+    def retire(self) -> None:
+        """Drop the queue of a dead/stopping worker without blocking."""
+        try:
+            self.queue.close()
+            self.queue.cancel_join_thread()
+        except (OSError, ValueError):  # pragma: no cover
+            pass
+
+
+class _Pending:
+    """Parent-side record of one in-flight task."""
+
+    __slots__ = ("payload", "future", "worker_slot", "attempts")
+
+    def __init__(self, payload: bytes, future: PoolFuture, worker_slot: int):
+        self.payload = payload
+        self.future = future
+        self.worker_slot = worker_slot
+        self.attempts = 0
+
+
+class WorkerPool:
+    """Long-lived fork pool with deterministic dispatch and respawn.
+
+    Args:
+        workers: number of worker processes (>= 1).
+        retry_policy: bounds crash resubmission; ``max_retries`` is the
+            number of times one task may be re-run after its worker
+            died (default: the resilient sampler's policy, 3).
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        context = _fork_context()
+        if context is None:
+            raise RuntimeError("fork start method unavailable")
+        self.workers = workers
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._context = context
+        self._results = context.Queue()
+        self._lock = threading.Lock()
+        self._next_tid = 0
+        self._pending: Dict[int, _Pending] = {}
+        self._closed = False
+        self._respawns = 0
+        self._slots: List[_Worker] = [
+            _Worker(context, slot, self._results) for slot in range(workers)
+        ]
+        self._collector = threading.Thread(
+            target=self._collect, daemon=True, name="amperebleed-pool-collect"
+        )
+        self._collector.start()
+
+    # -- submission ---------------------------------------------------
+
+    def submit(self, fn: Callable[[_T], _R], item: _T) -> PoolFuture:
+        """Queue ``fn(item)`` on the next worker (round-robin)."""
+        payload = pickle.dumps((fn, item), protocol=pickle.HIGHEST_PROTOCOL)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("pool is shut down")
+            tid = self._next_tid
+            self._next_tid += 1
+            slot = tid % self.workers
+            future = PoolFuture(tid)
+            self._pending[tid] = _Pending(payload, future, slot)
+            self._slots[slot].queue.put((tid, payload))
+        return future
+
+    def map(
+        self,
+        fn: Callable[[_T], _R],
+        items: Sequence[_T],
+        chunksize: int = 1,
+    ) -> List[_R]:
+        """``[fn(item) for item in items]`` — same values, same order.
+
+        Items are grouped into ``chunksize`` batches (one pickled task
+        each, as ``ProcessPoolExecutor.map`` would) and results
+        reassembled in submission order.
+        """
+        items = list(items)
+        chunksize = max(1, chunksize)
+        chunks = [
+            items[start : start + chunksize]
+            for start in range(0, len(items), chunksize)
+        ]
+        futures = [self.submit(_run_chunk, (fn, chunk)) for chunk in chunks]
+        out: List[_R] = []
+        for future in futures:
+            out.extend(future.result())
+        return out
+
+    # -- collection / crash recovery ---------------------------------
+
+    def _collect(self) -> None:
+        while True:
+            try:
+                tid, body = self._results.get(timeout=_SWEEP_INTERVAL_S)
+            except (Empty, OSError, ValueError):
+                if self._closed:
+                    return
+                self._sweep()
+                continue
+            if self._closed:
+                return
+            with self._lock:
+                record = self._pending.pop(tid, None)
+            if record is None:  # duplicate after a respawn resubmit
+                continue
+            ok, value = pickle.loads(body)
+            record.future._resolve(ok, value)
+
+    def _sweep(self) -> None:
+        """Respawn dead workers and resubmit their lost tasks."""
+        with self._lock:
+            if self._closed:
+                return
+            for slot, worker in enumerate(self._slots):
+                if worker.process.is_alive():
+                    continue
+                worker.retire()
+                self._respawns += 1
+                replacement = _Worker(self._context, worker.id, self._results)
+                self._slots[slot] = replacement
+                lost = sorted(
+                    tid
+                    for tid, record in self._pending.items()
+                    if record.worker_slot == slot
+                )
+                for tid in lost:
+                    record = self._pending[tid]
+                    record.attempts += 1
+                    if record.attempts > self.retry_policy.max_retries:
+                        del self._pending[tid]
+                        record.future._resolve(
+                            False,
+                            WorkerCrashError(
+                                f"task {tid} crashed its worker "
+                                f"{record.attempts} times"
+                            ),
+                        )
+                        continue
+                    replacement.queue.put((tid, record.payload))
+
+    # -- lifecycle ----------------------------------------------------
+
+    @property
+    def respawns(self) -> int:
+        """Workers respawned after dying (telemetry for the fleet)."""
+        return self._respawns
+
+    def shutdown(self) -> None:
+        """Stop workers and fail any still-pending futures (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for record in pending:
+            record.future._resolve(
+                False, RuntimeError("pool shut down with task pending")
+            )
+        for worker in self._slots:
+            try:
+                worker.queue.put(_SHUTDOWN)
+            except (OSError, ValueError):  # pragma: no cover
+                pass
+        for worker in self._slots:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():  # pragma: no cover - stuck task
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            worker.retire()
+        self._collector.join(timeout=2.0)
+
+
+#: Process-wide pool shared by every parallel stage (lazily built).
+_POOL: Optional[WorkerPool] = None
+_POOL_PID: Optional[int] = None
+_POOL_LOCK = threading.Lock()
+
+
+def get_pool(workers: int) -> WorkerPool:
+    """The shared pool, grown to at least ``workers`` wide.
+
+    One pool serves the whole process; asking for more workers than it
+    currently has replaces it with a wider one (results are identical
+    at any width, so shrinking requests reuse the existing pool).  A
+    pool inherited across a ``fork`` is stale and rebuilt.
+    """
+    global _POOL, _POOL_PID
+    with _POOL_LOCK:
+        if _POOL is not None and (
+            _POOL_PID != os.getpid() or _POOL.workers < workers
+        ):
+            if _POOL_PID == os.getpid():
+                _POOL.shutdown()
+            _POOL = None
+        if _POOL is None:
+            _POOL = WorkerPool(workers)
+            _POOL_PID = os.getpid()
+        return _POOL
+
+
+def shutdown_pool() -> None:
+    """Tear down the shared pool (tests and interpreter exit)."""
+    global _POOL
+    with _POOL_LOCK:
+        if _POOL is not None and _POOL_PID == os.getpid():
+            _POOL.shutdown()
+        _POOL = None
+
+
+atexit.register(shutdown_pool)

@@ -1,0 +1,295 @@
+"""Zero-copy data plane for parallel fan-out.
+
+The fork-per-call engine of PR 1 shipped every task's arrays through
+pickle: a forest fit pickled the whole ``(X, y)`` matrix once per tree
+batch, and the CV grid pickled each cell's feature matrix once per
+fold.  On the persistent :class:`~repro.perf.pool.WorkerPool` the
+copies get worse — workers forked at pool start never see arrays the
+parent builds later — so the data plane moves out of the pickle stream
+entirely:
+
+* :class:`SharedArena` packs a batch of arrays into one
+  :class:`multiprocessing.shared_memory.SharedMemory` segment and
+  hands back :class:`ShmSlice` descriptors — ``(segment name, dtype,
+  shape, offset)`` — that cost a few hundred bytes to pickle no matter
+  how large the arrays are.
+* :class:`MmapSlice` is the on-disk twin: a byte range inside an
+  uncompressed v2-archive chunk (located by
+  :func:`repro.core.io.npz_member_layout`) that workers map straight
+  off disk, so archive → worker is zero-copy end to end.
+* :func:`resolve_array` turns any of the three spellings — a plain
+  ``ndarray`` (the serial path), a :class:`ShmSlice`, a
+  :class:`MmapSlice` — back into an array, attaching segments through
+  a per-process registry that the pool worker loop drains after every
+  task (:func:`release_attachments`).
+
+Resolved views are read-only: tasks that need to write take copies
+(exactly what fancy indexing like ``X[sample]`` already does), so a
+worker can never corrupt another worker's input.
+
+Platforms without POSIX shared memory degrade transparently:
+:func:`publish_arrays` falls back to yielding the arrays themselves,
+which ride the pickle stream as before — slower, never wrong.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+try:  # pragma: no cover - import guard for exotic platforms
+    from multiprocessing import shared_memory as _shared_memory
+except ImportError:  # pragma: no cover
+    _shared_memory = None
+
+__all__ = [
+    "ShmSlice",
+    "MmapSlice",
+    "SharedArena",
+    "publish_arrays",
+    "resolve_array",
+    "release_attachments",
+    "shm_available",
+]
+
+#: Alignment of each array inside an arena segment (cache-line).
+_ALIGN = 64
+
+#: Monotone counter making segment names unique within this process.
+_SEGMENT_COUNTER = 0
+
+
+def shm_available() -> bool:
+    """True when POSIX shared memory can back the zero-copy plane."""
+    return _shared_memory is not None and os.name == "posix"
+
+
+@dataclass(frozen=True)
+class ShmSlice:
+    """One array inside a shared-memory segment.
+
+    The descriptor is everything a worker needs to reconstruct a
+    zero-copy view: attach the segment by name, wrap ``shape`` x
+    ``dtype`` bytes starting at ``offset``.
+    """
+
+    segment: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+
+
+@dataclass(frozen=True)
+class MmapSlice:
+    """One array inside an uncompressed file on disk (npy payload).
+
+    The archive twin of :class:`ShmSlice`: v2 chunk ``.npz`` members
+    are STORED, so their payload is one contiguous byte range that
+    any process can ``np.memmap`` without reading the zip layer.
+    """
+
+    path: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+    order: str = "C"
+
+
+#: Segments attached by :func:`resolve_array` in this process, kept
+#: open until :func:`release_attachments` — a resolved view must not
+#: outlive its segment mapping.
+_ATTACHED: Dict[str, "_shared_memory.SharedMemory"] = {}
+
+#: Arenas created by this process and still open, by segment name:
+#: when a descriptor resolves in its creating process (a fan-out that
+#: degraded to the serial loop), the view comes straight off the
+#: arena's own mapping instead of a second attach.
+_LOCAL_ARENAS: Dict[str, "SharedArena"] = {}
+
+
+def _unregister_attachment(segment) -> None:
+    """Drop an attach-side resource-tracker registration.
+
+    Attaching a segment re-registers its name with the resource
+    tracker (shared with the parent under fork), so a worker's
+    attachment would make the tracker try to unlink a segment the
+    parent already unlinked — harmless but noisy.  Ownership stays
+    with the creating process; attachments are tracked here instead,
+    via :data:`_ATTACHED`.
+    """
+    try:  # pragma: no cover - depends on stdlib internals
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def resolve_array(obj) -> np.ndarray:
+    """Materialize one task input: ndarray, shm slice, or mmap slice.
+
+    Plain arrays pass through untouched (the serial / pickled path).
+    Descriptors come back as *read-only* zero-copy views; callers that
+    mutate must copy first.
+    """
+    if isinstance(obj, ShmSlice):
+        arena = _LOCAL_ARENAS.get(obj.segment)
+        if arena is not None:
+            segment = arena._segment
+        else:
+            segment = _ATTACHED.get(obj.segment)
+            if segment is None:
+                segment = _shared_memory.SharedMemory(name=obj.segment)
+                _unregister_attachment(segment)
+                _ATTACHED[obj.segment] = segment
+        view = np.ndarray(
+            obj.shape,
+            dtype=np.dtype(obj.dtype),
+            buffer=segment.buf,
+            offset=obj.offset,
+        )
+        view.flags.writeable = False
+        return view
+    if isinstance(obj, MmapSlice):
+        return np.memmap(
+            obj.path,
+            dtype=np.dtype(obj.dtype),
+            mode="r",
+            offset=obj.offset,
+            shape=obj.shape,
+            order=obj.order,
+        )
+    return np.asarray(obj)
+
+
+def release_attachments() -> int:
+    """Close every segment this process attached; returns the count.
+
+    The pool worker loop calls this after each task's result has been
+    serialized, so attachments never outlive the task that resolved
+    them and unlinked segments free their memory promptly.
+    """
+    count = len(_ATTACHED)
+    for segment in _ATTACHED.values():
+        try:
+            segment.close()
+        except OSError:  # pragma: no cover - already gone
+            pass
+    _ATTACHED.clear()
+    return count
+
+
+def _aligned(size: int) -> int:
+    return (size + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+class SharedArena:
+    """A batch of arrays packed into one shared-memory segment.
+
+    Args:
+        arrays: the arrays to publish; each is copied into the segment
+            once (the last copy these bytes ever make — workers map
+            them in place).
+
+    The arena owns the segment: :meth:`close` unlinks it.  Workers
+    holding attachments keep the memory alive until they release, so
+    the parent may unlink as soon as the fan-out returns.
+    """
+
+    def __init__(self, arrays: Sequence[np.ndarray]):
+        global _SEGMENT_COUNTER
+        arrays = [np.ascontiguousarray(array) for array in arrays]
+        offsets = []
+        cursor = 0
+        for array in arrays:
+            offsets.append(cursor)
+            cursor += _aligned(max(1, array.nbytes))
+        name = None
+        while True:
+            _SEGMENT_COUNTER += 1
+            candidate = f"amperebleed-{os.getpid()}-{_SEGMENT_COUNTER}"
+            try:
+                self._segment = _shared_memory.SharedMemory(
+                    name=candidate, create=True, size=max(1, cursor)
+                )
+                name = candidate
+                break
+            except FileExistsError:  # pragma: no cover - stale leftover
+                continue
+        self._name = name
+        _LOCAL_ARENAS[name] = self
+        self.slices: Tuple[ShmSlice, ...] = tuple(
+            ShmSlice(
+                segment=name,
+                dtype=array.dtype.str,
+                shape=tuple(array.shape),
+                offset=offset,
+            )
+            for array, offset in zip(arrays, offsets)
+        )
+        for array, offset in zip(arrays, offsets):
+            target = np.ndarray(
+                array.shape,
+                dtype=array.dtype,
+                buffer=self._segment.buf,
+                offset=offset,
+            )
+            target[...] = array
+        self._closed = False
+
+    def close(self) -> None:
+        """Unmap and unlink the segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        _LOCAL_ARENAS.pop(self._name, None)
+        try:
+            self._segment.close()
+            self._segment.unlink()
+        except OSError:  # pragma: no cover - already unlinked
+            pass
+
+    def __enter__(self) -> "SharedArena":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"SharedArena({len(self.slices)} arrays in "
+            f"{self.slices[0].segment if self.slices else '<empty>'})"
+        )
+
+
+@contextmanager
+def publish_arrays(
+    arrays: Sequence[np.ndarray], enabled: bool = True
+) -> Iterator[Tuple[Union[np.ndarray, ShmSlice], ...]]:
+    """Publish arrays for a fan-out; yield what tasks should carry.
+
+    With shared memory available (and ``enabled``), yields one
+    :class:`ShmSlice` per array and unlinks the backing segment when
+    the block exits.  Otherwise yields the arrays themselves, so call
+    sites need no feature-detection branches — tasks carry whatever
+    this yields and :func:`resolve_array` undoes it on the other side.
+    """
+    arrays = [np.asarray(array) for array in arrays]
+    shareable = all(not array.dtype.hasobject for array in arrays)
+    if not enabled or not shareable or not shm_available():
+        yield tuple(arrays)
+        return
+    arena: Optional[SharedArena] = None
+    try:
+        arena = SharedArena(arrays)
+    except OSError:  # pragma: no cover - e.g. /dev/shm full or absent
+        yield tuple(np.asarray(array) for array in arrays)
+        return
+    try:
+        yield arena.slices
+    finally:
+        arena.close()
