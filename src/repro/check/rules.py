@@ -44,6 +44,11 @@ API006      no bare ``multiprocessing.Pool`` / ``ProcessPoolExecutor``
             skip the deterministic task→seed assignment, crash
             recovery, and segment-lifetime bookkeeping the
             ``repro.perf`` pool/shm layer provides
+API007      no untimed blocking ``Queue.get`` / ``Event.wait`` /
+            ``Process.join`` outside ``repro/perf`` +
+            ``repro/resilience`` — a dead peer strands the caller
+            forever; only the pool internals and the resilience layer
+            that reaps them may park without a deadline
 ==========  ============================================================
 
 Each rule is a pure function ``(Module) -> List[Finding]``; the engine
@@ -992,6 +997,93 @@ def check_api006(module: Module) -> List[Finding]:
     return findings
 
 
+# ------------------------------------------------------------------- API007
+
+#: Blocking rendezvous methods whose no-timeout form can hang forever.
+_BLOCKING_METHODS = ("get", "wait", "join")
+
+#: The layers allowed to park without a deadline: the pool internals
+#: (repro/perf — whose collector is itself watched) and the resilience
+#: layer that reaps hung workers.  Everyone else must bound the wait so
+#: a dead peer surfaces as a timeout, not a hang.
+_BLOCKING_ALLOWED = ("repro/perf/", "repro/resilience/")
+
+
+def _keyword(node: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def check_api007(module: Module) -> List[Finding]:
+    """Untimed blocking waits strand the caller when the peer dies.
+
+    The chaos harness's first invariant is *no hang*: every wait on
+    another process or thread must carry a deadline so a SIGKILLed
+    worker or dead collector turns into a timeout the caller can
+    handle.  A call is flagged when it blocks indefinitely:
+    ``q.get()`` / ``q.get(True)`` / ``q.get(block=True)``,
+    ``event.wait()``, ``proc.join()``, or any of them with an explicit
+    ``timeout=None``.  Calls with a finite timeout — positional
+    (``join(2.0)``, ``wait(5)``, ``get(True, 5)``) or keyword — pass,
+    as do non-blocking forms (``get(False)``, ``get_nowait``),
+    value-carrying lookups (``d.get(key)``, ``sep.join(parts)``), and
+    ``await``-ed coroutine methods (the event loop stays responsive).
+    """
+    if _path_matches(module.rel_path, _BLOCKING_ALLOWED):
+        return []
+    awaited = {
+        id(node.value)
+        for node in ast.walk(module.tree)
+        if isinstance(node, ast.Await)
+    }
+    findings = []
+    for node in ast.walk(module.tree):
+        if (
+            not isinstance(node, ast.Call)
+            or not isinstance(node.func, ast.Attribute)
+            or node.func.attr not in _BLOCKING_METHODS
+            or id(node) in awaited
+        ):
+            continue
+        timeout = _keyword(node, "timeout")
+        if timeout is not None and not _is_none(timeout):
+            continue
+        attr = node.func.attr
+        if attr in ("wait", "join"):
+            # A positional argument is the timeout (join(2.0)) or the
+            # payload (sep.join(parts)) — either way, not an untimed
+            # park.
+            blocking = not node.args
+        else:  # get
+            if len(node.args) >= 2:
+                blocking = False  # get(True, 5): second arg is timeout
+            elif len(node.args) == 1:
+                first = node.args[0]
+                blocking = (
+                    isinstance(first, ast.Constant) and first.value is True
+                )
+            else:
+                block = _keyword(node, "block")
+                blocking = block is None or (
+                    isinstance(block, ast.Constant) and block.value is True
+                )
+        if blocking:
+            findings.append(
+                module.finding(
+                    "API007",
+                    node,
+                    f".{attr}() blocks with no timeout; if the peer "
+                    f"process/thread dies this caller hangs forever — "
+                    f"pass a finite timeout and handle expiry (only "
+                    f"repro/perf and repro/resilience may park "
+                    f"indefinitely)",
+                )
+            )
+    return findings
+
+
 # ----------------------------------------------------------------- registry
 
 RULES: Dict[str, Rule] = {
@@ -1088,6 +1180,14 @@ RULES: Dict[str, Rule] = {
             "outside repro/perf bypasses the pooled execution and "
             "shared-memory lifetime layer",
             check_api006,
+        ),
+        Rule(
+            "API007",
+            "untimed-blocking-call",
+            "blocking Queue.get/Event.wait/Process.join without a "
+            "timeout hangs forever when the peer dies; bound every "
+            "wait outside repro/perf + repro/resilience",
+            check_api007,
         ),
     )
 }

@@ -98,6 +98,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         write_bench_json,
     )
 
+    if args.chaos:
+        return _cmd_bench_chaos(args)
     if args.fleet:
         return _cmd_bench_fleet(args)
     if args.faults:
@@ -238,6 +240,37 @@ def _cmd_bench_fleet(args: argparse.Namespace) -> int:
     path = write_bench_json(report, output)
     print(f"fleet bench written to {path}")
     return 0 if parity["identical"] else 1
+
+
+def _cmd_bench_chaos(args: argparse.Namespace) -> int:
+    from repro.perf.bench import write_bench_json
+    from repro.perf.config import chaos_scenarios_from_env
+    from repro.resilience.chaos import run_chaos_bench
+
+    scenarios = args.scenarios or chaos_scenarios_from_env()
+    report = run_chaos_bench(
+        smoke=True, seed=args.seed, scenarios=scenarios
+    )
+    print(f"{'scenario':18s} {'ok':>5s} {'elapsed (s)':>12s}")
+    for scenario in report["scenarios"]:
+        if "skipped" in scenario:
+            print(f"{scenario['name']:18s} {'skip':>5s} "
+                  f"{'-':>12s}  ({scenario['skipped']})")
+            continue
+        print(f"{scenario['name']:18s} "
+              f"{'pass' if scenario['ok'] else 'FAIL':>5s} "
+              f"{scenario['elapsed_s']:12.1f}")
+        if not scenario["ok"]:
+            for key, value in scenario["invariants"].items():
+                if value is False:
+                    print(f"    broken invariant: {key}")
+    print(f"chaos sweep: {'ok' if report['ok'] else 'INVARIANT BROKEN'}")
+    output = args.output
+    if output == "BENCH_fingerprint.json":
+        output = "BENCH_fleet_chaos.json"
+    path = write_bench_json(report, output)
+    print(f"chaos bench written to {path}")
+    return 0 if report["ok"] else 1
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
@@ -804,9 +837,19 @@ def build_parser() -> argparse.ArgumentParser:
              "(emits BENCH_fleet.json)",
     )
     bench.add_argument(
+        "--chaos", action="store_true",
+        help="run the fleet chaos/resilience harness instead "
+             "(emits BENCH_fleet_chaos.json)",
+    )
+    bench.add_argument(
+        "--scenarios", nargs="*", default=None,
+        help="with --chaos: scenarios to run (default: AMPEREBLEED_CHAOS "
+             "env var, else all of worker-sigkill worker-sigstop "
+             "board-outage archive-corrupt fault-storm)",
+    )
+    bench.add_argument(
         "--smoke", action="store_true",
-        help="with --fleet: trim the batch to the first two catalog "
-             "boards for a quick pass",
+        help="with --fleet/--chaos: trim the batch for a quick pass",
     )
     bench.add_argument(
         "--boards", nargs="*", default=None,

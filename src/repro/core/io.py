@@ -57,6 +57,20 @@ class ArchiveError(ValueError):
     """A trace archive is missing, corrupted, or truncated."""
 
 
+class ArchiveCorruptError(ArchiveError):
+    """An archive is damaged beyond what a torn tail explains.
+
+    Raised only for true corruption — a garbled manifest line with
+    intact records after it, or a manifest whose header never made it
+    to disk — never for benign states like a missing footer on a
+    still-recording archive or a file that simply is not an archive.
+    The fleet layer treats this subclass as the quarantine trigger
+    (:func:`repro.resilience.quarantine.quarantine_archive`): the
+    damaged directory is moved aside with a reason record and the job
+    re-records fresh, instead of aborting the whole campaign.
+    """
+
+
 # --------------------------------------------------------------- v1 npz
 
 
@@ -365,7 +379,7 @@ class TraceArchiveWriter:
             except json.JSONDecodeError as error:
                 rest = [tail for tail in lines[position + 1:] if tail.strip()]
                 if rest:
-                    raise ArchiveError(
+                    raise ArchiveCorruptError(
                         f"corrupted manifest line {position + 1} in "
                         f"{self._manifest_path} (not a torn tail): {error}"
                     ) from None
@@ -373,7 +387,7 @@ class TraceArchiveWriter:
                 break
             records.append(record)
         if not records:
-            raise ArchiveError(
+            raise ArchiveCorruptError(
                 f"cannot resume {self.path}: no intact manifest header"
             )
         header = records[0]
@@ -632,12 +646,12 @@ class TraceArchiveReader:
                 try:
                     records.append(json.loads(line))
                 except json.JSONDecodeError as error:
-                    raise ArchiveError(
+                    raise ArchiveCorruptError(
                         f"corrupted manifest line {line_number} in "
                         f"{manifest_path}: {error}"
                     ) from None
         if not records:
-            raise ArchiveError(f"empty manifest in {manifest_path}")
+            raise ArchiveCorruptError(f"empty manifest in {manifest_path}")
         header = records[0]
         if header.get("kind") != ARCHIVE_KIND:
             raise ArchiveError(

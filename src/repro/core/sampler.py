@@ -68,6 +68,17 @@ class StreamInterrupted(RuntimeError):
         self.domain = domain
         self.quantity = quantity
         self.emitted = emitted
+        self.message = message
+
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (the formatted
+        # string) into ``__init__``, which takes four fields — so a
+        # stream failure crossing a process boundary (pool worker →
+        # parent) must rebuild from the fields instead.
+        return (
+            type(self),
+            (self.domain, self.quantity, self.emitted, self.message),
+        )
 
 
 class TraceStream:

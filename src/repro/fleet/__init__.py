@@ -24,6 +24,12 @@ This package is that orchestrator, built on the PR 8 substrate:
   fork-per-call head-to-head, and exact archive/accuracy parity
   against the serial path.
 
+The failure-containment threading — per-board circuit breakers,
+admission backpressure (``AMPEREBLEED_QUEUE_HWM``), job deadlines
+riding the pool's watchdog, and archive quarantine — comes from
+:mod:`repro.resilience`; every job ends in one of the scheduler's
+:data:`~repro.fleet.scheduler.TERMINAL_STATUSES`.
+
 ``AMPEREBLEED_FLEET_BOARDS`` restricts which catalog boards the fleet
 targets; the ``repro fleet`` CLI command drives the scheduler from the
 command line.
@@ -31,10 +37,26 @@ command line.
 
 from repro.fleet.bench import build_fleet_jobs, run_fleet_bench
 from repro.fleet.jobs import JOB_KINDS, FleetJob, JobResult, run_job
-from repro.fleet.scheduler import FleetReport, FleetScheduler, JobOutcome
+from repro.fleet.scheduler import (
+    STATUS_DEFERRED,
+    STATUS_DONE,
+    STATUS_FAILED,
+    STATUS_QUARANTINED,
+    STATUS_SKIPPED,
+    TERMINAL_STATUSES,
+    FleetReport,
+    FleetScheduler,
+    JobOutcome,
+)
 
 __all__ = [
     "JOB_KINDS",
+    "STATUS_DEFERRED",
+    "STATUS_DONE",
+    "STATUS_FAILED",
+    "STATUS_QUARANTINED",
+    "STATUS_SKIPPED",
+    "TERMINAL_STATUSES",
     "FleetJob",
     "FleetReport",
     "FleetScheduler",

@@ -77,6 +77,7 @@ def build_fleet_jobs(
     kinds: Optional[Sequence[str]] = None,
     seed: int = 0,
     smoke: bool = False,
+    deadline: Optional[float] = None,
 ) -> List[FleetJob]:
     """The benchmark batch: every kind of campaign on every board.
 
@@ -86,7 +87,8 @@ def build_fleet_jobs(
     explicit ``boards`` list is never trimmed).  Each job's archive
     lands under ``root`` in a directory named after the job, so one
     batch built against two different roots yields the job pairs the
-    parity check compares.
+    parity check compares.  ``deadline`` arms each job's wall-clock
+    attempt budget (the chaos harness uses it to bound hung workers).
     """
     if boards is None:
         boards = fleet_boards_from_env()
@@ -107,6 +109,7 @@ def build_fleet_jobs(
                     board,
                     seed=seed,
                     out=root / f"{kind}-{board}-{int(seed)}",
+                    deadline=deadline,
                     **params,
                 )
             )

@@ -15,7 +15,12 @@ possible starting states need no coordination from the scheduler:
   recording resumes at the last checkpoint and, because recording is
   deterministic, seals byte-identical to an uninterrupted run;
 * a sealed archive (the worker died *after* finishing but before
-  reporting) → the job is a no-op and reports ``skipped=True``.
+  reporting) → the job is a no-op and reports ``skipped=True``;
+* a **corrupt** archive (damage beyond a torn tail —
+  :class:`~repro.core.io.ArchiveCorruptError`) → the directory is
+  moved to the ``quarantine/`` sidecar with a reason record and the
+  job re-records fresh, reporting ``quarantined=True`` instead of
+  aborting the campaign.
 """
 
 from __future__ import annotations
@@ -26,10 +31,12 @@ from typing import Dict, Optional, Tuple
 
 from repro.boards.catalog import get_board
 from repro.core.io import (
+    ArchiveCorruptError,
     TraceArchiveReader,
     TraceArchiveWriter,
     is_archive_dir,
 )
+from repro.resilience.quarantine import quarantine_archive
 
 __all__ = ["JOB_KINDS", "FleetJob", "JobResult", "run_job"]
 
@@ -51,6 +58,18 @@ class FleetJob:
         params: experiment parameters as sorted ``(key, value)`` pairs
             — tuple-of-tuples so the job stays hashable and cheap to
             pickle; :meth:`param_dict` restores the dict view.
+        timeout: wall-clock budget for one execution attempt, in
+            seconds; the scheduler propagates it into the worker
+            pool's deadline watchdog, which SIGKILLs and resubmits a
+            worker holding the job past it.  Distinct from any
+            simulated-time ``timeout`` *parameter* a kind may take
+            (the campaign's detection window lives in ``params``);
+            :meth:`make` spells it ``deadline`` for that reason.
+            ``None`` means no budget.
+        priority: admission priority under backpressure — when the
+            scheduler's queue high-water mark would overflow, the
+            *lowest*-priority jobs are deferred first (ties broken by
+            submission order).
     """
 
     job_id: str
@@ -59,6 +78,8 @@ class FleetJob:
     seed: int
     out: str
     params: Tuple[Tuple[str, object], ...] = ()
+    timeout: Optional[float] = None
+    priority: int = 0
 
     @classmethod
     def make(
@@ -68,13 +89,23 @@ class FleetJob:
         seed: int,
         out,
         job_id: Optional[str] = None,
+        deadline: Optional[float] = None,
+        priority: int = 0,
         **params,
     ) -> "FleetJob":
-        """Build a validated job (board resolved against the catalog)."""
+        """Build a validated job (board resolved against the catalog).
+
+        ``deadline`` populates :attr:`timeout` (the wall-clock attempt
+        budget); the name differs so experiment parameters that happen
+        to be called ``timeout`` — the campaign's simulated detection
+        window — still flow into ``params`` untouched.
+        """
         if kind not in JOB_KINDS:
             raise ValueError(
                 f"unknown job kind {kind!r}; expected one of {JOB_KINDS}"
             )
+        if deadline is not None and deadline <= 0:
+            raise ValueError("deadline must be > 0 or None")
         spec = get_board(board)  # KeyError lists the catalog
         if job_id is None:
             job_id = f"{kind}/{spec.name}/{int(seed)}"
@@ -85,6 +116,8 @@ class FleetJob:
             seed=int(seed),
             out=str(out),
             params=tuple(sorted(params.items())),
+            timeout=deadline,
+            priority=int(priority),
         )
 
     def param_dict(self) -> Dict[str, object]:
@@ -101,6 +134,8 @@ class JobResult:
         resumed: the job continued a partial archive from a previous
             attempt.
         skipped: the archive was already sealed; nothing ran.
+        quarantined: a corrupt archive was moved to the quarantine
+            sidecar and the job re-recorded fresh.
         detail: kind-specific extras (e.g. the campaign outcome).
     """
 
@@ -111,6 +146,7 @@ class JobResult:
     samples: int = 0
     resumed: bool = False
     skipped: bool = False
+    quarantined: bool = False
     detail: Tuple[Tuple[str, object], ...] = field(default_factory=tuple)
 
 
@@ -249,26 +285,52 @@ def run_job(job: FleetJob) -> JobResult:
     """
     out = Path(job.out)
     resume = False
+    quarantined = False
     if is_archive_dir(out):
-        probe = TraceArchiveReader(out, allow_partial=True)
-        if probe.complete:
-            traces, samples = _archive_counts(out)
-            return JobResult(
+        try:
+            probe = TraceArchiveReader(out, allow_partial=True)
+        except ArchiveCorruptError as damage:
+            quarantine_archive(
+                out,
+                reason="archive-corrupt",
+                error=str(damage),
                 job_id=job.job_id,
-                kind=job.kind,
-                board=job.board,
-                traces=traces,
-                samples=samples,
-                skipped=True,
             )
-        resume = True
+            quarantined = True
+        else:
+            if probe.complete:
+                traces, samples = _archive_counts(out)
+                return JobResult(
+                    job_id=job.job_id,
+                    kind=job.kind,
+                    board=job.board,
+                    traces=traces,
+                    samples=samples,
+                    skipped=True,
+                )
+            resume = True
     try:
         runner = _RUNNERS[job.kind]
     except KeyError:
         raise ValueError(
             f"unknown job kind {job.kind!r}; expected one of {JOB_KINDS}"
         ) from None
-    traces, samples, detail = runner(job, resume)
+    try:
+        traces, samples, detail = runner(job, resume)
+    except ArchiveCorruptError as damage:
+        if not resume:
+            raise
+        # The probe accepted the archive but the resume recovery saw
+        # damage a torn tail cannot explain: condemn it and re-record.
+        quarantine_archive(
+            out,
+            reason="archive-corrupt",
+            error=str(damage),
+            job_id=job.job_id,
+        )
+        quarantined = True
+        resume = False
+        traces, samples, detail = runner(job, False)
     return JobResult(
         job_id=job.job_id,
         kind=job.kind,
@@ -276,5 +338,6 @@ def run_job(job: FleetJob) -> JobResult:
         traces=traces,
         samples=samples,
         resumed=resume,
+        quarantined=quarantined,
         detail=detail,
     )

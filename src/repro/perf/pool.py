@@ -29,7 +29,19 @@ of a run, fed through per-worker task queues:
   daemon collector thread resolves futures as results arrive, so the
   fleet scheduler can feed jobs from many asyncio executor threads
   while a forest fit maps tree batches through the same pool.
+* **Deadlines & hung-worker reaping.**  A task submitted with a
+  ``deadline_s`` wall-clock budget is watched: a worker still holding
+  the task past its deadline — dead-but-undetected *or* merely hung
+  (a SIGSTOPped process is alive but will never answer) — is
+  SIGKILLed and the task resubmitted with a fresh budget, bounded by
+  the same retry policy; exhaustion surfaces
+  :class:`TaskDeadlineError` instead of a silent hang.  Every caller
+  blocked in :meth:`PoolFuture.result` doubles as a watchdog, so the
+  pool cannot strand a waiter even if the collector thread itself
+  dies.
 
+All shutdown/reap join timeouts and the sweep cadence live in
+:class:`PoolConfig`, so tests and the chaos harness can tighten them.
 Workers run with the :func:`repro.perf.executor.in_worker` flag set,
 so nested parallel stages inside a task degrade to serial loops
 exactly as before.  The module-level :func:`get_pool` singleton is the
@@ -43,6 +55,8 @@ import atexit
 import os
 import pickle
 import threading
+import time
+from dataclasses import dataclass
 from queue import Empty
 from typing import Callable, Dict, List, Optional, Sequence, TypeVar
 
@@ -54,23 +68,64 @@ _T = TypeVar("_T")
 _R = TypeVar("_R")
 
 __all__ = [
+    "PoolConfig",
     "PoolFuture",
+    "TaskDeadlineError",
     "WorkerCrashError",
     "WorkerPool",
     "get_pool",
     "shutdown_pool",
 ]
 
-#: How long the collector blocks on the result queue before sweeping
-#: worker liveness (seconds); a dead worker is detected within this.
-_SWEEP_INTERVAL_S = 0.2
-
 #: Sent on a task queue to make the worker exit its loop.
 _SHUTDOWN = None
 
 
+@dataclass(frozen=True)
+class PoolConfig:
+    """Timing knobs for pool supervision (all wall-clock seconds).
+
+    Attributes:
+        sweep_interval_s: how long the collector blocks on the result
+            queue before sweeping worker liveness and task deadlines;
+            a dead or expired worker is detected within this.  Waiting
+            callers poll their futures at the same cadence.
+        shutdown_join_s: graceful worker join budget at shutdown.
+        terminate_join_s: join budget after a terminate at shutdown.
+        collector_join_s: collector-thread join budget at shutdown.
+        reap_join_s: join budget after the watchdog SIGKILLs a hung
+            worker (the respawn scan needs the process reaped).
+        default_deadline_s: deadline applied to tasks submitted
+            without an explicit one (``None`` = no deadline).
+    """
+
+    sweep_interval_s: float = 0.2
+    shutdown_join_s: float = 2.0
+    terminate_join_s: float = 1.0
+    collector_join_s: float = 2.0
+    reap_join_s: float = 1.0
+    default_deadline_s: Optional[float] = None
+
+    def __post_init__(self):
+        for name in (
+            "sweep_interval_s",
+            "shutdown_join_s",
+            "terminate_join_s",
+            "collector_join_s",
+            "reap_join_s",
+        ):
+            if getattr(self, name) <= 0:
+                raise ValueError(f"{name} must be > 0")
+        if self.default_deadline_s is not None and self.default_deadline_s <= 0:
+            raise ValueError("default_deadline_s must be > 0 or None")
+
+
 class WorkerCrashError(RuntimeError):
     """A task's worker died more times than the retry policy allows."""
+
+
+class TaskDeadlineError(WorkerCrashError):
+    """A task blew its deadline on every attempt the policy allowed."""
 
 
 def _run_chunk(task):
@@ -115,8 +170,9 @@ def _worker_main(worker_id: int, task_queue, result_queue) -> None:
 class PoolFuture:
     """Result handle for one submitted task."""
 
-    def __init__(self, tid: int):
+    def __init__(self, tid: int, pool: Optional["WorkerPool"] = None):
         self.tid = tid
+        self._pool = pool
         self._event = threading.Event()
         self._value = None
         self._error: Optional[BaseException] = None
@@ -132,9 +188,27 @@ class PoolFuture:
         return self._event.is_set()
 
     def result(self, timeout: Optional[float] = None):
-        """Block for the task result; re-raise the task's exception."""
-        if not self._event.wait(timeout):
-            raise TimeoutError(f"task {self.tid} still pending")
+        """Block for the task result; re-raise the task's exception.
+
+        An untimed wait is still bounded: the caller polls at the
+        pool's sweep cadence and runs the liveness/deadline sweep
+        itself each tick, so a worker that died after dequeueing the
+        task — or a collector thread that died outright — resolves the
+        future with :class:`WorkerCrashError` instead of stranding the
+        wait forever.
+        """
+        if timeout is not None:
+            if not self._event.wait(timeout):
+                raise TimeoutError(f"task {self.tid} still pending")
+        else:
+            interval = (
+                self._pool.config.sweep_interval_s
+                if self._pool is not None
+                else PoolConfig().sweep_interval_s
+            )
+            while not self._event.wait(interval):
+                if self._pool is not None:
+                    self._pool._watch()
         if self._error is not None:
             raise self._error
         return self._value
@@ -166,13 +240,38 @@ class _Worker:
 class _Pending:
     """Parent-side record of one in-flight task."""
 
-    __slots__ = ("payload", "future", "worker_slot", "attempts")
+    __slots__ = (
+        "payload",
+        "future",
+        "worker_slot",
+        "attempts",
+        "deadline_s",
+        "deadline_at",
+        "expired",
+    )
 
-    def __init__(self, payload: bytes, future: PoolFuture, worker_slot: int):
+    def __init__(
+        self,
+        payload: bytes,
+        future: PoolFuture,
+        worker_slot: int,
+        deadline_s: Optional[float] = None,
+    ):
         self.payload = payload
         self.future = future
         self.worker_slot = worker_slot
         self.attempts = 0
+        self.deadline_s = deadline_s
+        self.expired = False
+        self.rearm()
+
+    def rearm(self) -> None:
+        """Start (or restart) the wall-clock deadline for one attempt."""
+        self.deadline_at = (
+            time.monotonic() + self.deadline_s
+            if self.deadline_s is not None
+            else None
+        )
 
 
 class WorkerPool:
@@ -183,12 +282,15 @@ class WorkerPool:
         retry_policy: bounds crash resubmission; ``max_retries`` is the
             number of times one task may be re-run after its worker
             died (default: the resilient sampler's policy, 3).
+        config: supervision timing knobs (sweep cadence, shutdown and
+            reap join budgets, default task deadline).
     """
 
     def __init__(
         self,
         workers: int,
         retry_policy: Optional[RetryPolicy] = None,
+        config: Optional[PoolConfig] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -197,6 +299,7 @@ class WorkerPool:
             raise RuntimeError("fork start method unavailable")
         self.workers = workers
         self.retry_policy = retry_policy or RetryPolicy()
+        self.config = config or PoolConfig()
         self._context = context
         self._results = context.Queue()
         self._lock = threading.Lock()
@@ -214,8 +317,24 @@ class WorkerPool:
 
     # -- submission ---------------------------------------------------
 
-    def submit(self, fn: Callable[[_T], _R], item: _T) -> PoolFuture:
-        """Queue ``fn(item)`` on the next worker (round-robin)."""
+    def submit(
+        self,
+        fn: Callable[[_T], _R],
+        item: _T,
+        *,
+        deadline_s: Optional[float] = None,
+    ) -> PoolFuture:
+        """Queue ``fn(item)`` on the next worker (round-robin).
+
+        ``deadline_s`` caps one attempt's wall-clock time; a worker
+        still holding the task past that budget is SIGKILLed and the
+        task resubmitted with a fresh budget, up to the retry policy.
+        ``None`` falls back to ``config.default_deadline_s``.
+        """
+        if deadline_s is None:
+            deadline_s = self.config.default_deadline_s
+        if deadline_s is not None and deadline_s <= 0:
+            raise ValueError("deadline_s must be > 0 or None")
         payload = pickle.dumps((fn, item), protocol=pickle.HIGHEST_PROTOCOL)
         with self._lock:
             if self._closed:
@@ -223,8 +342,8 @@ class WorkerPool:
             tid = self._next_tid
             self._next_tid += 1
             slot = tid % self.workers
-            future = PoolFuture(tid)
-            self._pending[tid] = _Pending(payload, future, slot)
+            future = PoolFuture(tid, pool=self)
+            self._pending[tid] = _Pending(payload, future, slot, deadline_s)
             self._slots[slot].queue.put((tid, payload))
         return future
 
@@ -257,7 +376,9 @@ class WorkerPool:
     def _collect(self) -> None:
         while True:
             try:
-                tid, body = self._results.get(timeout=_SWEEP_INTERVAL_S)
+                tid, body = self._results.get(
+                    timeout=self.config.sweep_interval_s
+                )
             except (Empty, OSError, ValueError):
                 if self._closed:
                     return
@@ -269,14 +390,70 @@ class WorkerPool:
                 record = self._pending.pop(tid, None)
             if record is None:  # duplicate after a respawn resubmit
                 continue
-            ok, value = pickle.loads(body)
+            try:
+                ok, value = pickle.loads(body)
+            except Exception as error:
+                # An undecodable body (e.g. a task exception whose
+                # class does not survive a pickle round-trip) must
+                # fail *that task* — never the collector thread, which
+                # every other future depends on.
+                record.future._resolve(
+                    False,
+                    RuntimeError(
+                        f"task {tid} returned an undecodable result: "
+                        f"{type(error).__name__}: {error}"
+                    ),
+                )
+                continue
             record.future._resolve(ok, value)
 
+    def _watch(self) -> None:
+        """Caller-side supervision tick (run from untimed waits).
+
+        Runs the same sweep the collector runs, then — if the
+        collector thread itself has died — fails every pending future
+        so no caller is left waiting on a thread that will never post.
+        """
+        self._sweep()
+        with self._lock:
+            if self._closed or self._collector.is_alive():
+                return
+            orphaned = list(self._pending.values())
+            self._pending.clear()
+        for record in orphaned:
+            record.future._resolve(
+                False,
+                WorkerCrashError(
+                    "pool collector thread died with tasks pending"
+                ),
+            )
+
     def _sweep(self) -> None:
-        """Respawn dead workers and resubmit their lost tasks."""
+        """Reap hung workers, respawn dead ones, resubmit lost tasks.
+
+        Phase one is the deadline watchdog: any worker holding a task
+        past its wall-clock budget is SIGKILLed — that covers workers
+        that are alive but wedged (SIGSTOP, livelock), which the
+        liveness scan alone would never catch.  Phase two is the
+        original crash recovery: dead workers are respawned and their
+        in-flight tasks resubmitted in order, bounded by the retry
+        policy; a task that expired on its last allowed attempt fails
+        with :class:`TaskDeadlineError`.
+        """
         with self._lock:
             if self._closed:
                 return
+            now = time.monotonic()
+            hung_slots = set()
+            for record in self._pending.values():
+                if record.deadline_at is not None and now >= record.deadline_at:
+                    record.expired = True
+                    hung_slots.add(record.worker_slot)
+            for slot in hung_slots:
+                process = self._slots[slot].process
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=self.config.reap_join_s)
             for slot, worker in enumerate(self._slots):
                 if worker.process.is_alive():
                     continue
@@ -294,14 +471,20 @@ class WorkerPool:
                     record.attempts += 1
                     if record.attempts > self.retry_policy.max_retries:
                         del self._pending[tid]
-                        record.future._resolve(
-                            False,
-                            WorkerCrashError(
+                        if record.expired:
+                            error: WorkerCrashError = TaskDeadlineError(
+                                f"task {tid} blew its "
+                                f"{record.deadline_s:g}s deadline; worker "
+                                f"reaped {record.attempts} times"
+                            )
+                        else:
+                            error = WorkerCrashError(
                                 f"task {tid} crashed its worker "
                                 f"{record.attempts} times"
-                            ),
-                        )
+                            )
+                        record.future._resolve(False, error)
                         continue
+                    record.rearm()
                     replacement.queue.put((tid, record.payload))
 
     # -- lifecycle ----------------------------------------------------
@@ -329,12 +512,12 @@ class WorkerPool:
             except (OSError, ValueError):  # pragma: no cover
                 pass
         for worker in self._slots:
-            worker.process.join(timeout=2.0)
+            worker.process.join(timeout=self.config.shutdown_join_s)
             if worker.process.is_alive():  # pragma: no cover - stuck task
                 worker.process.terminate()
-                worker.process.join(timeout=1.0)
+                worker.process.join(timeout=self.config.terminate_join_s)
             worker.retire()
-        self._collector.join(timeout=2.0)
+        self._collector.join(timeout=self.config.collector_join_s)
 
 
 #: Process-wide pool shared by every parallel stage (lazily built).

@@ -1,0 +1,35 @@
+"""Fixture: API007 must flag untimed blocking waits outside perf."""
+
+import multiprocessing
+import threading
+
+
+def drain_results(queue: multiprocessing.Queue):
+    # Blocks forever if the producer process was SIGKILLed.
+    return queue.get()
+
+
+def drain_results_explicitly_blocking(queue: multiprocessing.Queue):
+    return queue.get(True)
+
+
+def drain_results_keyword_blocking(queue: multiprocessing.Queue):
+    return queue.get(block=True)
+
+
+def await_signal(event: threading.Event):
+    # No deadline: a dead setter strands this caller.
+    event.wait()
+
+
+def await_signal_none_timeout(event: threading.Event):
+    event.wait(timeout=None)
+
+
+def reap_worker(process: multiprocessing.Process):
+    # An untimed join on a SIGSTOPped worker never returns.
+    process.join()
+
+
+def reap_worker_none_timeout(process: multiprocessing.Process):
+    process.join(timeout=None)

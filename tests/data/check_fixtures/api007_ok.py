@@ -1,0 +1,54 @@
+"""Fixture: API007 must stay quiet on bounded and non-blocking forms."""
+
+import asyncio
+import multiprocessing
+import os
+import queue
+import threading
+
+
+def drain_with_deadline(results: multiprocessing.Queue):
+    try:
+        return results.get(timeout=2.0)
+    except queue.Empty:
+        return None
+
+
+def drain_positional_deadline(results: multiprocessing.Queue):
+    return results.get(True, 5)
+
+
+def drain_nonblocking(results: multiprocessing.Queue):
+    return results.get(False)
+
+
+def drain_keyword_nonblocking(results: multiprocessing.Queue):
+    return results.get(block=False)
+
+
+def await_signal_bounded(event: threading.Event):
+    return event.wait(5)
+
+
+def await_signal_keyword(event: threading.Event):
+    return event.wait(timeout=0.5)
+
+
+def reap_worker_bounded(process: multiprocessing.Process):
+    process.join(2.0)
+    return process.exitcode
+
+
+def lookup_is_not_a_wait(config: dict):
+    # dict.get carries a key, not a block flag.
+    return config.get("workers", 1)
+
+
+def join_is_not_always_a_wait(parts):
+    # str.join / os.path.join take payload arguments.
+    return os.path.join("/tmp", "-".join(parts))
+
+
+async def event_loop_waits_are_fine(tasks: asyncio.Queue):
+    # Awaited coroutine methods keep the loop responsive.
+    return await tasks.get()
