@@ -7,9 +7,15 @@ parallelism, lock discipline and hwmon API hygiene.  See
 :mod:`repro.check.rules` for the rule table and
 :mod:`repro.check.baseline` for the grandfathering workflow.
 
+Per-file syntactic rules are complemented by the whole-program flow
+layer (:mod:`repro.check.flow`): interprocedural seed/clock taint
+tracking and lock-discipline analysis over a cached, incrementally
+invalidated project model.
+
 Run it as ``python -m repro check`` (flags: ``--rules``, ``--baseline``,
-``--format json``, ``--fail-on-findings``, ``--write-baseline``,
-``--list-rules``) or programmatically::
+``--format json|sarif``, ``--fail-on-findings``, ``--fail-on-stale``,
+``--write-baseline``, ``--prune-baseline``, ``--changed-only``,
+``--no-cache``, ``--workers``, ``--list-rules``) or programmatically::
 
     from repro.check import run_check
     result = run_check(["src"])
@@ -20,10 +26,12 @@ from repro.check.baseline import (
     BaselineEntry,
     BaselineError,
     load_baseline,
+    prune_baseline,
     write_baseline,
 )
 from repro.check.engine import (
     CheckResult,
+    GitDiffError,
     ParseError,
     UnknownRuleError,
     render_json,
@@ -32,6 +40,7 @@ from repro.check.engine import (
     select_rules,
 )
 from repro.check.findings import Finding
+from repro.check.flow import render_sarif
 from repro.check.rules import RULES, Module, Rule
 
 __all__ = [
@@ -39,13 +48,16 @@ __all__ = [
     "BaselineError",
     "CheckResult",
     "Finding",
+    "GitDiffError",
     "Module",
     "ParseError",
     "RULES",
     "Rule",
     "UnknownRuleError",
     "load_baseline",
+    "prune_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_check",
     "select_rules",

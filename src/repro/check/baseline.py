@@ -138,3 +138,34 @@ def write_baseline(
         json.dumps(document, indent=2) + "\n", encoding="utf-8"
     )
     return entries
+
+
+def prune_baseline(
+    path: Path,
+    existing: Iterable[BaselineEntry],
+    stale: Iterable[BaselineEntry],
+) -> List[BaselineEntry]:
+    """Rewrite ``path`` with the ``stale`` entries removed.
+
+    Unlike :func:`write_baseline` this never drops entries that simply
+    were not exercised by the run (a ``--rules`` or path subset), only
+    the ones the engine proved stale.  Surviving entries keep their
+    justifications verbatim.  Returns the entries written.
+    """
+    stale_fingerprints = {entry.fingerprint for entry in stale}
+    entries = sorted(
+        (
+            entry
+            for entry in existing
+            if entry.fingerprint not in stale_fingerprints
+        ),
+        key=lambda e: (e.path, e.rule, e.snippet),
+    )
+    document = {
+        "version": BASELINE_VERSION,
+        "entries": [entry.to_dict() for entry in entries],
+    }
+    Path(path).write_text(
+        json.dumps(document, indent=2) + "\n", encoding="utf-8"
+    )
+    return entries

@@ -1,27 +1,53 @@
-"""File discovery, suppression, baseline matching and reporting.
+"""File discovery, caching, suppression, baseline matching, reporting.
 
-The engine is the orchestration half of ``repro.check``: it finds the
-Python files to scan, parses each one once, runs the selected rules
-(:data:`repro.check.rules.RULES`), drops findings suppressed by inline
-``# repro: ignore[RULE]`` comments, matches the remainder against the
-checked-in baseline, and renders the result as text or JSON.
+The engine is the orchestration half of ``repro.check``.  A run has
+two phases:
+
+1. a **per-module phase** — parse each file once, run every syntactic
+   rule (:data:`repro.check.rules.RULES`), apply inline
+   ``# repro: ignore[RULE]`` suppressions, and extract the module's
+   flow facts (:mod:`repro.check.flow.symbols`).  This phase is pure
+   per file, so it is cached under ``.repro_check_cache/`` keyed by
+   content hash (invalidated transitively through the module graph)
+   and fanned out over :func:`repro.perf.parallel_map` when workers
+   are available;
+2. a **whole-program phase** — assemble the cached/fresh facts into a
+   project model and run the FLOW rules (:mod:`repro.check.flow`)
+   over the call graph.  This phase always runs; it is cheap next to
+   parsing.
+
+Findings from both phases flow through the same suppression and
+baseline machinery.  Files that cannot be read or parsed are *never*
+skipped: they produce a synthetic ``PARSE000`` finding (plus a
+:class:`ParseError` for the exit-code path), so a broken file cannot
+make the tree check green.
 
 Exit-code policy (used by the CLI): a run is *clean* when there are no
 new findings and no unparsable files; stale baseline entries are
-reported but do not fail the run unless ``--fail-on-findings`` is given
-together with strict mode.
+reported but do not fail the run unless ``--fail-on-stale`` is given.
 """
 
 from __future__ import annotations
 
 import json
 import re
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.check.baseline import BaselineEntry, load_baseline
 from repro.check.findings import Finding
+from repro.check.flow import (
+    FactCache,
+    ModuleFacts,
+    ModuleGraph,
+    build_module_graph,
+    extract_module_facts,
+    module_name_for,
+    run_flow_analysis,
+)
+from repro.check.flow.cache import DEFAULT_CACHE_DIR, content_hash
 from repro.check.rules import RULES, Module, Rule
 
 PathLike = Union[str, Path]
@@ -56,6 +82,11 @@ class CheckResult:
     stale_baseline: List[BaselineEntry] = field(default_factory=list)
     files_scanned: int = 0
     rules_run: List[str] = field(default_factory=list)
+    #: incremental-run accounting (0 when the cache is disabled)
+    modules_analyzed: int = 0
+    cache_hits: int = 0
+    #: rel paths selected by --changed-only (None when not used)
+    changed_files: Optional[List[str]] = None
 
     @property
     def ok(self) -> bool:
@@ -65,6 +96,10 @@ class CheckResult:
 
 class UnknownRuleError(ValueError):
     """A ``--rules`` selection named a rule that does not exist."""
+
+
+class GitDiffError(RuntimeError):
+    """``--changed-only`` could not resolve the changed file set."""
 
 
 def select_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
@@ -146,11 +181,111 @@ def default_paths(root: Path) -> List[Path]:
     return [Path(__file__).resolve().parents[1]]
 
 
+# ------------------------------------------------------- per-module phase
+
+
+def _parse_failure_entry(rel: str, line: int, message: str) -> Dict:
+    """Cacheable per-module entry for an unreadable/unparseable file."""
+    return {
+        "parse_error": {"path": rel, "line": line, "message": message},
+        "findings": [
+            Finding(
+                path=rel,
+                line=line,
+                col=0,
+                rule="PARSE000",
+                message=(
+                    f"file could not be analyzed ({message}); a file "
+                    f"the checker cannot parse can hide any violation "
+                    f"— fix it or delete it"
+                ),
+                snippet="",
+            ).to_dict()
+        ],
+        "suppressed": {},
+        "suppress_lines": {},
+        "facts": None,
+        "module": module_name_for(rel),
+        "imports": [],
+    }
+
+
+def analyze_source_file(payload) -> Dict:
+    """Per-module analysis pass: rules + suppressions + flow facts.
+
+    ``payload`` is ``(absolute path, rel path)``.  Pure function of the
+    file's content — this is the unit the cache stores and
+    ``parallel_map`` fans out.  Runs *every* per-module rule; the
+    caller filters by selection so one cache entry serves any
+    ``--rules`` subset.
+    """
+    path_str, rel = payload
+    path = Path(path_str)
+    try:
+        module = Module.parse(path, rel)
+    except SyntaxError as exc:
+        return _parse_failure_entry(
+            rel, exc.lineno or 1, f"syntax error: {exc.msg}"
+        )
+    except (OSError, UnicodeDecodeError, ValueError) as exc:
+        return _parse_failure_entry(rel, 1, f"unreadable: {exc}")
+
+    suppressions = _suppressions(module.lines)
+    findings: List[Dict] = []
+    suppressed: Dict[str, int] = {}
+    for rule in RULES.values():
+        if rule.whole_program:
+            continue
+        for finding in rule.check(module):
+            if rule.id in suppressions.get(finding.line, ()):
+                suppressed[rule.id] = suppressed.get(rule.id, 0) + 1
+            else:
+                findings.append(finding.to_dict())
+    facts = extract_module_facts(module)
+    return {
+        "parse_error": None,
+        "findings": findings,
+        "suppressed": suppressed,
+        "suppress_lines": {
+            str(line): sorted(rules)
+            for line, rules in suppressions.items()
+        },
+        "facts": facts.to_dict(),
+        "module": facts.module,
+        "imports": facts.imports,
+    }
+
+
+def _git_changed_files(root: Path, base: str) -> List[str]:
+    """POSIX rel paths changed vs ``base`` per ``git diff --name-only``."""
+    try:
+        proc = subprocess.run(
+            ["git", "diff", "--name-only", base, "--", "*.py"],
+            cwd=root,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise GitDiffError(f"git diff failed: {exc}") from exc
+    if proc.returncode != 0:
+        raise GitDiffError(
+            f"git diff --name-only {base} failed: "
+            f"{proc.stderr.strip() or proc.stdout.strip()}"
+        )
+    return [line.strip() for line in proc.stdout.splitlines() if line.strip()]
+
+
 def run_check(
     paths: Optional[Sequence[PathLike]] = None,
     rules: Optional[Sequence[str]] = None,
     baseline: Optional[PathLike] = None,
     root: Optional[PathLike] = None,
+    *,
+    use_cache: bool = True,
+    cache_dir: Optional[PathLike] = None,
+    workers: Optional[int] = None,
+    changed_base: Optional[str] = None,
 ) -> CheckResult:
     """Run the selected rules over ``paths`` and classify the findings.
 
@@ -162,12 +297,22 @@ def run_check(
             ``""`` to force no baseline.
         root: directory findings are reported relative to (default:
             auto-detected repo root).
+        use_cache: reuse per-module analysis cached under
+            ``<root>/.repro_check_cache/`` (content-hash keyed,
+            transitively invalidated through the module graph).
+        cache_dir: override the cache location.
+        workers: worker count for the per-module pass (``None`` honors
+            ``AMPEREBLEED_WORKERS``; serial fallback as usual).
+        changed_base: when set, report findings only for files changed
+            vs this git ref (``git diff --name-only <base>``) plus
+            their transitive dependents in the module graph.
 
     Returns:
         a :class:`CheckResult`; ``result.ok`` is the pass/fail signal.
     """
     root = Path(root) if root is not None else default_root()
     selected = select_rules(rules)
+    selected_ids = {rule.id for rule in selected}
     scan_paths = (
         [Path(p) for p in paths] if paths else default_paths(root)
     )
@@ -182,43 +327,161 @@ def run_check(
         baseline_entries = load_baseline(Path(baseline))
 
     result = CheckResult(rules_run=[rule.id for rule in selected])
-    raw_findings: List[Finding] = []
-    for file_path in iter_python_files(scan_paths, root):
-        rel = _rel_path(file_path, root)
-        try:
-            module = Module.parse(file_path, rel)
-        except SyntaxError as exc:
-            result.errors.append(
-                ParseError(rel, exc.lineno or 1, f"syntax error: {exc.msg}")
+
+    files = iter_python_files(scan_paths, root)
+    rels = [_rel_path(path, root) for path in files]
+    hashes = [content_hash(path.read_bytes()) for path in files]
+    hashes_by_module: Dict[str, str] = {
+        module_name_for(rel): digest
+        for rel, digest in zip(rels, hashes)
+    }
+
+    cache: Optional[FactCache] = None
+    if use_cache:
+        cache = FactCache(
+            Path(cache_dir) if cache_dir is not None
+            else root / DEFAULT_CACHE_DIR
+        )
+
+    entries: Dict[str, Dict] = {}
+    misses: List[int] = []
+    for index, rel in enumerate(rels):
+        entry = (
+            cache.load(rel, hashes[index], hashes_by_module)
+            if cache is not None
+            else None
+        )
+        if entry is None:
+            misses.append(index)
+        else:
+            entries[rel] = entry
+    # A changed module invalidates its transitive dependents too: their
+    # cached analysis was derived against the old import surface.
+    if misses and entries:
+        index_by_rel = {rel: i for i, rel in enumerate(rels)}
+        imports_by_module = {
+            entry["module"]: entry.get("imports", [])
+            for entry in entries.values()
+        }
+        dirty = {module_name_for(rels[i]) for i in misses}
+        for name in dirty:
+            imports_by_module.setdefault(name, [])
+        invalid = ModuleGraph(imports_by_module).dependents_closure(dirty)
+        for rel in list(entries):
+            if entries[rel]["module"] in invalid:
+                del entries[rel]
+                misses.append(index_by_rel[rel])
+        misses.sort()
+    result.cache_hits = len(rels) - len(misses)
+    result.modules_analyzed = len(misses)
+
+    if misses:
+        payloads = [(str(files[i]), rels[i]) for i in misses]
+        if len(payloads) > 1:
+            from repro.perf.executor import parallel_map
+
+            fresh = parallel_map(
+                analyze_source_file, payloads, workers=workers,
+                chunksize=8,
             )
+        else:
+            fresh = [analyze_source_file(payloads[0])]
+        for index, entry in zip(misses, fresh):
+            rel = rels[index]
+            entries[rel] = entry
+            if cache is not None:
+                cache.store(
+                    rel,
+                    hashes[index],
+                    entry,
+                    hashes_by_module,
+                    entry.get("imports", []),
+                )
+
+    # -- assemble per-module results ------------------------------------
+    raw_findings: List[Finding] = []
+    project: Dict[str, ModuleFacts] = {}
+    rel_by_module: Dict[str, str] = {}
+    for rel in rels:
+        entry = entries[rel]
+        error = entry.get("parse_error")
+        if error is not None:
+            result.errors.append(
+                ParseError(error["path"], error["line"], error["message"])
+            )
+            if "PARSE000" in selected_ids:
+                raw_findings.extend(
+                    Finding(**raw) for raw in entry["findings"]
+                )
             continue
         result.files_scanned += 1
-        suppressions = _suppressions(module.lines)
-        for rule in selected:
-            for finding in rule.check(module):
-                if rule.id in suppressions.get(finding.line, ()):
-                    result.suppressed += 1
-                else:
-                    raw_findings.append(finding)
+        for raw in entry["findings"]:
+            if raw["rule"] in selected_ids:
+                raw_findings.append(Finding(**raw))
+        for rule_id, count in entry.get("suppressed", {}).items():
+            if rule_id in selected_ids:
+                result.suppressed += count
+        if entry.get("facts") is not None:
+            facts = ModuleFacts.from_dict(entry["facts"])
+            project[facts.module] = facts
+            rel_by_module[facts.module] = rel
 
+    # -- whole-program phase --------------------------------------------
+    flow_findings = run_flow_analysis(project, selected_ids)
+    for finding in flow_findings:
+        entry = entries.get(finding.path)
+        if entry is not None:
+            suppressed_rules = entry.get("suppress_lines", {}).get(
+                str(finding.line), ()
+            )
+            if finding.rule in suppressed_rules:
+                result.suppressed += 1
+                continue
+        raw_findings.append(finding)
+
+    # -- --changed-only filtering ---------------------------------------
+    if changed_base is not None:
+        changed = set(_git_changed_files(root, changed_base))
+        changed_modules = {
+            module
+            for module, rel in rel_by_module.items()
+            if rel in changed
+        }
+        graph = build_module_graph(project)
+        keep_modules = graph.dependents_closure(changed_modules)
+        keep_rels = {rel_by_module[m] for m in keep_modules}
+        # Files that failed to parse have no module; keep them when
+        # they themselves changed.
+        keep_rels |= changed & set(rels)
+        result.changed_files = sorted(keep_rels)
+        raw_findings = [
+            finding for finding in raw_findings
+            if finding.path in keep_rels
+        ]
+        result.errors = [
+            error for error in result.errors if error.path in keep_rels
+        ]
+
+    # -- baseline matching ----------------------------------------------
     used_entries: Set[str] = set()
     by_fingerprint = {
         entry.fingerprint: entry for entry in baseline_entries
     }
     for finding in sorted(raw_findings):
-        entry = by_fingerprint.get(finding.fingerprint)
-        if entry is not None:
-            used_entries.add(entry.fingerprint)
+        matched = by_fingerprint.get(finding.fingerprint)
+        if matched is not None:
+            used_entries.add(matched.fingerprint)
             result.baselined.append(finding)
         else:
             result.findings.append(finding)
-    # Entries for rules that did not run are neither used nor stale.
-    selected_ids = {rule.id for rule in selected}
+    # Entries for rules that did not run are neither used nor stale;
+    # under --changed-only an unscanned file's entries stay untouched.
     result.stale_baseline = [
         entry
         for entry in baseline_entries
         if entry.fingerprint not in used_entries
         and entry.rule in selected_ids
+        and (changed_base is None or entry.path in (result.changed_files or ()))
     ]
     return result
 
@@ -264,6 +527,8 @@ def render_json(result: CheckResult) -> str:
             "stale_baseline": len(result.stale_baseline),
             "files_scanned": result.files_scanned,
             "rules_run": result.rules_run,
+            "modules_analyzed": result.modules_analyzed,
+            "cache_hits": result.cache_hits,
         },
         "findings": [finding.to_dict() for finding in result.findings],
         "baselined": [finding.to_dict() for finding in result.baselined],
@@ -272,4 +537,6 @@ def render_json(result: CheckResult) -> str:
             entry.to_dict() for entry in result.stale_baseline
         ],
     }
+    if result.changed_files is not None:
+        document["changed_files"] = result.changed_files
     return json.dumps(document, indent=2)

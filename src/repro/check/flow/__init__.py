@@ -1,0 +1,86 @@
+"""``repro.check.flow`` — whole-program flow analysis for the checker.
+
+Where :mod:`repro.check.rules` checks one file at a time, this package
+builds a *project model* — module graph, per-module symbol tables and
+an import-alias-resolved call graph — and runs interprocedural
+analyses over it:
+
+==========  ===========================================================
+Rule        Contract
+==========  ===========================================================
+FLOW001     no value derived from an unseeded ``default_rng`` /
+            ``SeedSequence`` may reach a recording sink (``Trace`` /
+            archive append / classifier ``fit``) without passing
+            through ``repro.utils.rng.ensure_rng`` — even when the
+            generator is laundered through helpers in other modules
+FLOW002     same sinks, OS/clock entropy (``os.urandom``, ``secrets``,
+            stdlib ``random``, time-seeded generators)
+FLOW003     a helper's wall-clock return value (``time.time`` /
+            ``monotonic`` / ``perf_counter``) must not flow into
+            simulated-time code outside ``repro/perf`` +
+            ``repro/resilience``
+FLOW004     no unlocked write to module-level state in any function
+            transitively reachable from a ``parallel_map`` /
+            ``WorkerPool.submit`` task callable (the interprocedural
+            CONC001)
+FLOW005     no inconsistent lock-acquisition order anywhere in the
+            program (ABBA deadlock shape), including orders completed
+            through calls
+==========  ===========================================================
+
+The per-module half (fact extraction) is pure and cacheable — see
+:mod:`repro.check.flow.cache`; the whole-program half here is a cheap
+fixpoint over those facts and always runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.check.findings import Finding
+from repro.check.flow.cache import CACHE_VERSION, DEFAULT_CACHE_DIR, FactCache
+from repro.check.flow.callgraph import CallGraph
+from repro.check.flow.locks import run_locks
+from repro.check.flow.modgraph import ModuleGraph, module_name_for
+from repro.check.flow.sarif import render_sarif
+from repro.check.flow.symbols import ModuleFacts, extract_module_facts
+from repro.check.flow.taint import run_taint
+
+__all__ = [
+    "CACHE_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "CallGraph",
+    "FactCache",
+    "FLOW_RULE_IDS",
+    "ModuleFacts",
+    "ModuleGraph",
+    "build_module_graph",
+    "extract_module_facts",
+    "module_name_for",
+    "render_sarif",
+    "run_flow_analysis",
+]
+
+FLOW_RULE_IDS = ("FLOW001", "FLOW002", "FLOW003", "FLOW004", "FLOW005")
+
+
+def build_module_graph(project: Dict[str, ModuleFacts]) -> ModuleGraph:
+    """Import graph restricted to the scanned modules."""
+    return ModuleGraph(
+        {name: facts.imports for name, facts in project.items()}
+    )
+
+
+def run_flow_analysis(
+    project: Dict[str, ModuleFacts],
+    selected: Iterable[str],
+) -> List[Finding]:
+    """Run every selected FLOW rule over the assembled project model."""
+    wanted: Set[str] = set(selected) & set(FLOW_RULE_IDS)
+    if not wanted or not project:
+        return []
+    graph = CallGraph(project)
+    findings: List[Finding] = []
+    findings.extend(run_taint(project, graph, wanted))
+    findings.extend(run_locks(project, graph, wanted))
+    return findings

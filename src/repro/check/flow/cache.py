@@ -1,0 +1,115 @@
+"""Content-hash keyed per-module analysis cache (mypy-style).
+
+One JSON file per analyzed module under ``.repro_check_cache/``, named
+by a hash of the module's scan-relative path.  An entry stores the
+module's own content hash, the content hashes of every *scanned*
+module it imports, and the full per-module analysis product: findings
+from the syntactic rules (pre-baseline, post-suppression), the inline
+suppression table, parse errors, and the serialized
+:class:`~repro.check.flow.symbols.ModuleFacts` the whole-program phase
+consumes.
+
+Validity is transitive by construction: an entry is usable only when
+its own hash matches *and* every recorded import dependency still has
+the recorded hash — so editing one module invalidates exactly that
+module plus its transitive dependents (each dependent records the
+changed module's old hash), and nothing else.  The interprocedural
+phase itself (taint fixpoint, lock merging) always re-runs over the
+assembled facts; it is cheap next to parsing and extraction.
+
+Entries are additionally keyed by :data:`CACHE_VERSION`, which must be
+bumped whenever the fact schema or any rule's behavior changes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["CACHE_VERSION", "DEFAULT_CACHE_DIR", "FactCache", "content_hash"]
+
+#: Bump on any change to rules, fact extraction, or entry schema.
+CACHE_VERSION = "flow-1"
+
+DEFAULT_CACHE_DIR = ".repro_check_cache"
+
+
+def content_hash(data: bytes) -> str:
+    return hashlib.sha256(data).hexdigest()
+
+
+class FactCache:
+    """Load/store per-module analysis entries with dep validation."""
+
+    def __init__(self, directory: Path):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _entry_path(self, rel_path: str) -> Path:
+        digest = hashlib.sha256(
+            f"{CACHE_VERSION}::{rel_path}".encode()
+        ).hexdigest()[:32]
+        return self.directory / f"{digest}.json"
+
+    def load(
+        self,
+        rel_path: str,
+        file_hash: str,
+        hashes_by_module: Dict[str, str],
+    ) -> Optional[dict]:
+        """Return the cached entry when still valid, else ``None``.
+
+        ``hashes_by_module`` maps every scanned module name to its
+        current content hash; dependencies outside the scan set are
+        ignored (third-party imports carry no project facts).
+        """
+        path = self._entry_path(rel_path)
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if (
+            raw.get("version") != CACHE_VERSION
+            or raw.get("hash") != file_hash
+        ):
+            self.misses += 1
+            return None
+        for dep, dep_hash in raw.get("dep_hashes", {}).items():
+            if hashes_by_module.get(dep, dep_hash) != dep_hash:
+                self.misses += 1
+                return None
+        self.hits += 1
+        return raw
+
+    def store(
+        self,
+        rel_path: str,
+        file_hash: str,
+        entry: dict,
+        hashes_by_module: Dict[str, str],
+        dep_modules,
+    ) -> None:
+        """Persist one module's analysis entry (best-effort)."""
+        document = dict(entry)
+        document["version"] = CACHE_VERSION
+        document["hash"] = file_hash
+        document["dep_hashes"] = {
+            dep: hashes_by_module[dep]
+            for dep in dep_modules
+            if dep in hashes_by_module
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._entry_path(rel_path)
+            tmp = path.with_suffix(".tmp")
+            tmp.write_text(
+                json.dumps(document, separators=(",", ":")),
+                encoding="utf-8",
+            )
+            tmp.replace(path)
+        except OSError:
+            pass  # a read-only checkout still checks, just never warm

@@ -1,0 +1,116 @@
+"""Module graph for the whole-program analysis.
+
+The graph's nodes are the scanned files, named by dotted module path
+(``src/repro/core/io.py`` -> ``repro.core.io``; a bare fixture file
+``helper.py`` -> ``helper``).  Edges follow imports *between scanned
+modules only* — third-party imports are not project edges.  The graph
+answers the two questions the incremental layer needs:
+
+* which scanned modules does module M import (cache validity: M's
+  cached facts are stale when any imported module's content changed);
+* which modules transitively depend on M (``--changed-only``: a change
+  to M re-analyzes M plus this closure).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Set
+
+__all__ = [
+    "module_name_for",
+    "module_imports",
+    "ModuleGraph",
+]
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a scan-root-relative POSIX path.
+
+    A leading ``src/`` segment is stripped (the repo layout), and a
+    package ``__init__.py`` names the package itself.
+    """
+    posix = rel_path.replace("\\", "/")
+    if posix.startswith("src/"):
+        posix = posix[len("src/"):]
+    if posix.endswith(".py"):
+        posix = posix[: -len(".py")]
+    parts = [piece for piece in posix.split("/") if piece]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) if parts else posix
+
+
+def module_imports(tree: ast.Module, own_name: str) -> Set[str]:
+    """Module names imported by ``tree`` (absolute and relative).
+
+    ``from a.b import c`` contributes both ``a.b`` and ``a.b.c`` —
+    ``c`` may be a submodule or a symbol, and the graph keeps whichever
+    of the two names actually exists among the scanned modules.
+    """
+    imported: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                imported.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                # level 1 = current package: drop the module's own leaf.
+                base_parts = own_name.split(".")
+                base_parts = base_parts[: len(base_parts) - node.level]
+                prefix = ".".join(base_parts)
+                module = (
+                    f"{prefix}.{node.module}" if node.module else prefix
+                )
+            else:
+                module = node.module or ""
+            if module:
+                imported.add(module)
+                for alias in node.names:
+                    imported.add(f"{module}.{alias.name}")
+    imported.discard(own_name)
+    return imported
+
+
+class ModuleGraph:
+    """Import edges between scanned modules, with reverse closure."""
+
+    def __init__(self, imports_by_module: Dict[str, Iterable[str]]):
+        known = set(imports_by_module)
+        #: module -> scanned modules it imports
+        self.imports: Dict[str, Set[str]] = {
+            name: {dep for dep in deps if dep in known and dep != name}
+            for name, deps in imports_by_module.items()
+        }
+        #: module -> scanned modules that import it
+        self.dependents: Dict[str, Set[str]] = {name: set() for name in known}
+        for name, deps in self.imports.items():
+            for dep in deps:
+                self.dependents[dep].add(name)
+
+    def modules(self) -> List[str]:
+        return sorted(self.imports)
+
+    def dependents_closure(self, roots: Iterable[str]) -> Set[str]:
+        """``roots`` plus every module that transitively imports one."""
+        seen: Set[str] = set()
+        stack = [root for root in roots if root in self.dependents]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.dependents.get(name, ()))
+        return seen
+
+    def imports_closure(self, roots: Iterable[str]) -> Set[str]:
+        """``roots`` plus everything they transitively import."""
+        seen: Set[str] = set()
+        stack = [root for root in roots if root in self.imports]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.imports.get(name, ()))
+        return seen

@@ -1,0 +1,122 @@
+"""SARIF 2.1.0 emitter for ``repro check`` results.
+
+Static Analysis Results Interchange Format, the schema GitHub code
+scanning and most CI annotators consume.  One ``run`` with one
+``tool.driver`` (``repro-check``); every selected rule appears in the
+driver's rule table, every new finding becomes a ``result`` with a
+``physicalLocation``, and parse errors are emitted as
+``tool`` execution notifications so a broken file is visible in the
+artifact too.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _result(finding) -> Dict:
+    return {
+        "ruleId": finding.rule,
+        "level": "error",
+        "message": {"text": finding.message},
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        "uri": finding.path,
+                        "uriBaseId": "SRCROOT",
+                    },
+                    "region": {
+                        "startLine": max(1, finding.line),
+                        "startColumn": finding.col + 1,
+                        "snippet": {"text": finding.snippet},
+                    },
+                }
+            }
+        ],
+        "fingerprints": {"reproCheck/v1": finding.fingerprint},
+    }
+
+
+def render_sarif(result, rules: Dict[str, object]) -> str:
+    """Serialize a :class:`~repro.check.engine.CheckResult` as SARIF.
+
+    Args:
+        result: the check result (new findings become ``results``;
+            baselined findings are emitted with ``"baselineState":
+            "unchanged"`` so annotators can hide them).
+        rules: the rule registry (id -> Rule), used for the driver's
+            rule table; only rules that ran are listed.
+    """
+    ran = set(result.rules_run)
+    driver_rules: List[Dict] = []
+    for rule_id in sorted(ran):
+        rule = rules.get(rule_id)
+        if rule is None:
+            continue
+        driver_rules.append(
+            {
+                "id": rule.id,
+                "name": rule.name,
+                "shortDescription": {"text": rule.name},
+                "fullDescription": {"text": rule.rationale},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    results = [_result(finding) for finding in result.findings]
+    for finding in result.baselined:
+        entry = _result(finding)
+        entry["baselineState"] = "unchanged"
+        entry["level"] = "note"
+        results.append(entry)
+    notifications = [
+        {
+            "level": "error",
+            "message": {"text": error.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": error.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": max(1, error.line)},
+                    }
+                }
+            ],
+        }
+        for error in result.errors
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-check",
+                        "informationUri": (
+                            "https://github.com/amperebleed/repro"
+                        ),
+                        "rules": driver_rules,
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+                "invocations": [
+                    {
+                        "executionSuccessful": result.ok,
+                        "toolExecutionNotifications": notifications,
+                    }
+                ],
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)

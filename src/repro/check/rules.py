@@ -49,11 +49,24 @@ API007      no untimed blocking ``Queue.get`` / ``Event.wait`` /
             ``repro/resilience`` — a dead peer strands the caller
             forever; only the pool internals and the resilience layer
             that reaps them may park without a deadline
+PARSE000    unreadable/unparseable files are findings, not skips
+FLOW001     (whole-program) unseeded-generator taint must not reach
+            Trace/archive/classifier sinks, even across modules
+FLOW002     (whole-program) OS/clock entropy taint, same sinks
+FLOW003     (whole-program) wall-clock values must not flow through
+            helpers into simulated-time code outside repro/perf +
+            repro/resilience
+FLOW004     (whole-program) no unlocked module-state writes on paths
+            reachable from parallel_map/WorkerPool task callables
+FLOW005     (whole-program) no inconsistent (ABBA) lock-acquisition
+            ordering anywhere, including through calls
 ==========  ============================================================
 
-Each rule is a pure function ``(Module) -> List[Finding]``; the engine
-(:mod:`repro.check.engine`) handles file discovery, suppression comments
-and the baseline.
+Each per-module rule is a pure function ``(Module) -> List[Finding]``;
+the engine (:mod:`repro.check.engine`) handles file discovery,
+suppression comments and the baseline.  Rules marked ``whole_program``
+are evaluated by :mod:`repro.check.flow` over the assembled project
+model instead.
 """
 
 from __future__ import annotations
@@ -107,14 +120,26 @@ class Module:
         )
 
 
+def _no_module_findings(module: Module) -> List[Finding]:
+    """Placeholder check for rules not evaluated per-module."""
+    return []
+
+
 @dataclass(frozen=True)
 class Rule:
-    """One named contract check."""
+    """One named contract check.
+
+    ``whole_program`` rules are not per-module functions: their
+    findings come from the flow layer (:mod:`repro.check.flow`) or the
+    engine itself (PARSE000); ``check`` is a no-op for them and the
+    engine dispatches separately.
+    """
 
     id: str
     name: str
     rationale: str
-    check: Callable[[Module], List[Finding]]
+    check: Callable[[Module], List[Finding]] = _no_module_findings
+    whole_program: bool = False
 
 
 # ---------------------------------------------------------- shared utilities
@@ -1188,6 +1213,57 @@ RULES: Dict[str, Rule] = {
             "timeout hangs forever when the peer dies; bound every "
             "wait outside repro/perf + repro/resilience",
             check_api007,
+        ),
+        # Whole-program rules: evaluated by repro.check.flow over the
+        # project model, not per module (see that package's docstring).
+        Rule(
+            "PARSE000",
+            "unparseable-file",
+            "a file the checker cannot read or parse can hide any "
+            "violation; it is reported as a finding so the tree can "
+            "never check green around it",
+            whole_program=True,
+        ),
+        Rule(
+            "FLOW001",
+            "entropy-taint-reaches-sink",
+            "a value derived from an unseeded default_rng/SeedSequence "
+            "reaches a Trace/archive/classifier sink — even through "
+            "helpers in other modules — making the recording "
+            "unreplayable; sanitize via utils.rng.ensure_rng",
+            whole_program=True,
+        ),
+        Rule(
+            "FLOW002",
+            "os-entropy-taint-reaches-sink",
+            "a value derived from OS/clock entropy (os.urandom, "
+            "secrets, stdlib random, time-seeded generators) reaches "
+            "a recording sink; such runs cannot be replayed",
+            whole_program=True,
+        ),
+        Rule(
+            "FLOW003",
+            "wall-clock-taint-escape",
+            "a helper's wall-clock return value flows into "
+            "simulated-time code outside repro/perf + "
+            "repro/resilience; the interprocedural TIME001",
+            whole_program=True,
+        ),
+        Rule(
+            "FLOW004",
+            "unlocked-worker-path-write",
+            "a function reachable from a parallel_map/WorkerPool task "
+            "writes module-level state without a lock; the write is "
+            "lost under fork (the interprocedural CONC001)",
+            whole_program=True,
+        ),
+        Rule(
+            "FLOW005",
+            "inconsistent-lock-order",
+            "two locks are acquired in opposite orders on different "
+            "paths (including through calls) — the ABBA deadlock "
+            "shape",
+            whole_program=True,
         ),
     )
 }

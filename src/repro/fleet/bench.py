@@ -216,6 +216,9 @@ def run_fleet_bench(
         parity = _parity(serial_jobs, fleet_jobs)
         serial_s = serial_report.total_s
         fleet_s = fleet_report.total_s
+        head = run_pool_head_to_head(  # repro: ignore[FLOW003] wall-time
+            workers=resolve_workers(workers, default=available_cpus())
+        )
         return {
             "benchmark": "fleet",
             "schema_version": SCHEMA_VERSION,
@@ -229,9 +232,7 @@ def run_fleet_bench(
             "serial": serial_report.as_dict(),
             "fleet": fleet_report.as_dict(),
             "speedup": serial_s / fleet_s if fleet_s > 0 else 0.0,
-            "head_to_head": run_pool_head_to_head(
-                workers=resolve_workers(workers, default=available_cpus())
-            ),
+            "head_to_head": head,
             "parity": parity,
             "stage_seconds": {"serial": serial_s, "fleet": fleet_s},
         }

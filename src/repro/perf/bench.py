@@ -31,6 +31,12 @@ The JSON schema (consumed by future perf-tracking PRs)::
                      "speedup": x, "identical": true,
                      "max_abs_diff": 0.0},
         ...
+      },
+      "check_flow": {                # repro check cold vs warm cache
+        "cold_seconds": s, "warm_seconds": s, "speedup": x,
+        "files_scanned": n, "modules_analyzed_cold": n,
+        "modules_analyzed_warm": 0, "cache_hits_warm": n,
+        "findings": 0, "ok": true
       }
     }
 
@@ -234,6 +240,48 @@ def _run_pipeline(fingerprinter, models, durations, workers, timer):
     return datasets, classifiers, results
 
 
+def run_check_flow_bench(root=None) -> Dict:
+    """Cold vs warm timing of the whole-program checker.
+
+    Runs ``repro check`` twice against a throwaway cache directory:
+    the cold pass parses and extracts facts for every module, the warm
+    pass must come entirely from the content-hash cache (only the
+    whole-program fixpoint re-runs).  The contract tracked here is
+    warm >= 3x faster than cold; ``modules_analyzed`` on the warm pass
+    must be 0 on an unchanged tree.
+    """
+    import shutil
+    import tempfile
+    import time
+
+    from repro.check import run_check
+    from repro.check.engine import default_root
+
+    if root is None:
+        root = default_root()
+    cache_dir = tempfile.mkdtemp(prefix="repro_check_bench_")
+    try:
+        begin = time.perf_counter()
+        cold = run_check(root=root, cache_dir=cache_dir)
+        cold_s = time.perf_counter() - begin
+        begin = time.perf_counter()
+        warm = run_check(root=root, cache_dir=cache_dir)
+        warm_s = time.perf_counter() - begin
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+    return {
+        "cold_seconds": cold_s,
+        "warm_seconds": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else 0.0,
+        "files_scanned": cold.files_scanned,
+        "modules_analyzed_cold": cold.modules_analyzed,
+        "modules_analyzed_warm": warm.modules_analyzed,
+        "cache_hits_warm": warm.cache_hits,
+        "findings": len(cold.findings),
+        "ok": bool(cold.ok),
+    }
+
+
 def run_fingerprint_bench(
     workers: Optional[int] = None,
     n_models: int = DEFAULT_MODELS,
@@ -343,6 +391,7 @@ def run_fingerprint_bench(
         "faults_disabled_overhead": overhead,
         "accuracy": accuracy,
         "kernels": run_kernel_bench(seed=seed, repeats=kernel_repeats),
+        "check_flow": run_check_flow_bench(),
     }
 
 

@@ -1,0 +1,13 @@
+"""FLOW001 ok: the generator is routed through the ensure_rng sanitizer."""
+from repro import Trace
+from repro.utils.rng import ensure_rng
+
+
+def make_generator(seed):
+    return ensure_rng(seed)
+
+
+def record():
+    gen = make_generator(0)
+    samples = gen.normal(size=32)
+    return Trace(samples=samples, seed=0)

@@ -1,0 +1,9 @@
+"""FLOW002: OS entropy (os.urandom) reaches a recording sink."""
+import os
+
+from repro import Trace
+
+
+def record():
+    noise = list(os.urandom(16))
+    return Trace(samples=noise, seed=0)

@@ -1,0 +1,9 @@
+"""FLOW002 ok: samples come from a seed-policy generator, not the OS."""
+from repro import Trace
+from repro.utils.rng import ensure_rng
+
+
+def record(seed):
+    rng = ensure_rng(seed)
+    noise = rng.normal(size=16)
+    return Trace(samples=noise, seed=seed)

@@ -1,0 +1,12 @@
+"""FLOW003: a helper's wall-clock return leaks into simulated time."""
+import time
+
+
+def read_clock():
+    return time.time()
+
+
+def schedule_tick(state):
+    now = read_clock()
+    state.advance(now)
+    return now

@@ -1,0 +1,11 @@
+"""FLOW003 ok: simulated time is derived from the experiment clock."""
+
+
+def simulated_time(step, dt):
+    return step * dt
+
+
+def schedule_tick(state, step):
+    now = simulated_time(step, 0.01)
+    state.advance(now)
+    return now

@@ -1,0 +1,14 @@
+"""FLOW004: a worker task writes module state without a lock."""
+from repro.perf.executor import parallel_map
+
+COUNTER = 0
+
+
+def task(item):
+    global COUNTER
+    COUNTER += 1
+    return item
+
+
+def launch(items):
+    return parallel_map(task, items)

@@ -1,0 +1,23 @@
+"""FLOW004 ok: workers return state; parent-side writes hold a lock."""
+import threading
+
+from repro.perf.executor import parallel_map
+
+_STATE_LOCK = threading.Lock()
+_TOTALS = {}
+
+
+def task(item):
+    return item * 2
+
+
+def record(key, value):
+    with _STATE_LOCK:
+        _TOTALS[key] = value
+
+
+def launch(items):
+    results = parallel_map(task, items)
+    for index, value in enumerate(results):
+        record(index, value)
+    return results

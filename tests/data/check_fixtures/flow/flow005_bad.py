@@ -1,0 +1,17 @@
+"""FLOW005: two locks acquired in opposite orders (ABBA deadlock)."""
+import threading
+
+ALPHA_LOCK = threading.Lock()
+BETA_LOCK = threading.Lock()
+
+
+def forward():
+    with ALPHA_LOCK:
+        with BETA_LOCK:
+            return 1
+
+
+def backward():
+    with BETA_LOCK:
+        with ALPHA_LOCK:
+            return 2

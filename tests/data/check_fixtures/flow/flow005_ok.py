@@ -1,0 +1,16 @@
+"""FLOW005 ok: every path acquires the locks in the same order."""
+import threading
+
+ALPHA_LOCK = threading.Lock()
+BETA_LOCK = threading.Lock()
+
+
+def forward():
+    with ALPHA_LOCK:
+        with BETA_LOCK:
+            return 1
+
+
+def also_forward():
+    with ALPHA_LOCK, BETA_LOCK:
+        return 2

@@ -1,0 +1,10 @@
+"""FLOW001 across modules: the tainted generator is made elsewhere."""
+from flow.xmod_source import make_generator
+
+from repro import Trace
+
+
+def record():
+    gen = make_generator()
+    samples = gen.normal(size=32)
+    return Trace(samples=samples, seed=0)

@@ -1,0 +1,6 @@
+"""Cross-module taint source: an unseeded generator factory."""
+import numpy as np
+
+
+def make_generator():
+    return np.random.default_rng()

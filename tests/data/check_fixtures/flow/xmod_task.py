@@ -1,0 +1,7 @@
+"""Cross-module worker task: writes module state without a lock."""
+RESULTS = {}
+
+
+def accumulate(item):
+    RESULTS[item] = item * 2
+    return item

@@ -2,8 +2,12 @@
 
 Every registered rule has a pair of fixture snippets under
 ``tests/data/check_fixtures/``: ``<rule>_bad.py`` that the rule must
-flag and ``<rule>_ok.py`` that it must not.  Fixtures are parsed, never
-imported, so they may freely reference banned constructs.
+flag and ``<rule>_ok.py`` that it must not (whole-program FLOW rules
+live in the ``flow/`` subdirectory).  Fixtures are parsed, never
+imported, so they may freely reference banned constructs.  PARSE000 is
+the one exception: its "fixture" is a file with a syntax error, which
+cannot be checked in without breaking linters, so the tests synthesize
+it in a temporary directory.
 """
 
 from __future__ import annotations
@@ -29,6 +33,15 @@ FIXTURES = Path(__file__).parent / "data" / "check_fixtures"
 
 RULE_IDS = sorted(RULES)
 
+#: Rules whose bad fixture is a broken file, synthesized per-test.
+SYNTHESIZED = {"PARSE000"}
+
+
+def _fixture_rel(rule_id: str, kind: str) -> str:
+    """Fixture path relative to FIXTURES (FLOW rules live in flow/)."""
+    prefix = "flow/" if rule_id.startswith("FLOW") else ""
+    return f"{prefix}{rule_id.lower()}_{kind}.py"
+
 
 def _check_fixture(name: str, rule_id: str):
     """Run one rule over one fixture file, with no baseline."""
@@ -37,6 +50,7 @@ def _check_fixture(name: str, rule_id: str):
         rules=[rule_id],
         baseline="",
         root=FIXTURES,
+        use_cache=False,
     )
 
 
@@ -45,21 +59,38 @@ def _check_fixture(name: str, rule_id: str):
 
 def test_every_rule_has_fixture_pair():
     for rule_id in RULE_IDS:
-        stem = rule_id.lower()
-        assert (FIXTURES / f"{stem}_bad.py").exists(), rule_id
-        assert (FIXTURES / f"{stem}_ok.py").exists(), rule_id
+        if rule_id in SYNTHESIZED:
+            continue
+        assert (FIXTURES / _fixture_rel(rule_id, "bad")).exists(), rule_id
+        assert (FIXTURES / _fixture_rel(rule_id, "ok")).exists(), rule_id
 
 
 @pytest.mark.parametrize("rule_id", RULE_IDS)
-def test_bad_fixture_triggers_rule(rule_id):
-    result = _check_fixture(f"{rule_id.lower()}_bad.py", rule_id)
+def test_bad_fixture_triggers_rule(rule_id, tmp_path):
+    if rule_id in SYNTHESIZED:
+        broken = tmp_path / "parse000_bad.py"
+        broken.write_text("def f(:\n")
+        result = run_check(
+            paths=[broken], rules=[rule_id], baseline="",
+            root=tmp_path, use_cache=False,
+        )
+    else:
+        result = _check_fixture(_fixture_rel(rule_id, "bad"), rule_id)
     assert result.findings, f"{rule_id} missed its bad fixture"
     assert all(f.rule == rule_id for f in result.findings)
 
 
 @pytest.mark.parametrize("rule_id", RULE_IDS)
-def test_ok_fixture_is_quiet(rule_id):
-    result = _check_fixture(f"{rule_id.lower()}_ok.py", rule_id)
+def test_ok_fixture_is_quiet(rule_id, tmp_path):
+    if rule_id in SYNTHESIZED:
+        fine = tmp_path / "parse000_ok.py"
+        fine.write_text("VALUE = 1\n")
+        result = run_check(
+            paths=[fine], rules=[rule_id], baseline="",
+            root=tmp_path, use_cache=False,
+        )
+    else:
+        result = _check_fixture(_fixture_rel(rule_id, "ok"), rule_id)
     assert result.ok, [f.format() for f in result.findings]
     assert not result.findings
 
@@ -263,3 +294,18 @@ def test_parse_error_fails_run(tmp_path):
     assert not result.ok
     assert result.errors and "syntax error" in result.errors[0].message
     assert "PARSE" in render_text(result)
+    # with the full rule set, the synthetic PARSE000 finding is there too
+    assert any(f.rule == "PARSE000" for f in result.findings)
+
+
+def test_broken_file_never_checks_green(tmp_path):
+    """Even when PARSE000 is deselected, a broken file fails the run."""
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n")
+    result = run_check(
+        paths=[broken], rules=["RNG001"], baseline="",
+        root=tmp_path, use_cache=False,
+    )
+    assert not result.ok
+    assert result.errors
+    assert not result.findings  # the synthetic finding needs selection

@@ -72,15 +72,38 @@ def test_cli_fails_on_bad_fixture():
     [
         "RNG001", "RNG002", "RNG003", "TIME001", "CONC001",
         "CONC002", "CONC003", "API001", "API002", "API003",
+        "FLOW001", "FLOW002", "FLOW003", "FLOW004", "FLOW005",
     ],
 )
 def test_cli_fails_on_every_bad_fixture(rule_id):
-    fixture = f"tests/data/check_fixtures/{rule_id.lower()}_bad.py"
+    subdir = "flow/" if rule_id.startswith("FLOW") else ""
+    fixture = (
+        f"tests/data/check_fixtures/{subdir}{rule_id.lower()}_bad.py"
+    )
     proc = _run_cli(
         fixture, "--rules", rule_id, "--no-baseline", "--fail-on-findings"
     )
     assert proc.returncode == 1, proc.stdout + proc.stderr
     assert rule_id in proc.stdout
+
+
+def test_shipped_tree_is_flow_clean():
+    """The whole-program rules alone pass on the shipped tree."""
+    result = run_check(
+        root=REPO,
+        rules=["FLOW001", "FLOW002", "FLOW003", "FLOW004", "FLOW005"],
+    )
+    assert result.ok, "\n".join(f.format() for f in result.findings)
+
+
+def test_cli_sarif_report_on_shipped_tree():
+    proc = _run_cli("--format", "sarif")
+    assert proc.returncode == 0, proc.stdout + proc.stderr
+    document = json.loads(proc.stdout)
+    assert document["version"] == "2.1.0"
+    run = document["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-check"
+    assert run["invocations"][0]["executionSuccessful"] is True
 
 
 def test_cli_unknown_rule_is_usage_error():
